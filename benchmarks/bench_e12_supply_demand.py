@@ -1,0 +1,96 @@
+"""E12 — Extrinsic (supply/demand) pricing vs intrinsic properties (§2).
+
+"The price of a dataset is set by the arbiter based on the economic
+principles of supply and demand.  A dataset that lots of buyers want will
+be priced higher than a dataset that is hardly ever requested, regardless
+of the intrinsic properties of such datasets."
+
+Two datasets: D_quality has pristine intrinsic properties (no nulls, fresh)
+but only 3 interested buyers; D_demand has 30% nulls but 60 interested
+buyers.  Tatonnement prices both.  Expected shape: the noisy, high-demand
+dataset clears at a much higher price — value is extrinsic; plus the price
+path converges into the theoretical clearing band for every demand curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pricing import (
+    clearing_price_bounds,
+    demand_from_valuations,
+    tatonnement,
+)
+
+SUPPLY = 2
+
+
+def buyers_for(n: int, mean: float, seed: int) -> list[float]:
+    rng = np.random.default_rng(seed)
+    return [float(v) for v in rng.uniform(mean * 0.5, mean * 1.5, size=n)]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # same per-buyer valuation scale; only the *number* of buyers differs
+    quality_buyers = buyers_for(3, 40.0, seed=1)  # pristine but niche
+    demand_buyers = buyers_for(60, 40.0, seed=2)  # noisy but hot
+    results = {}
+    for name, valuations in (
+        ("D_quality (0% nulls, 3 buyers)", quality_buyers),
+        ("D_demand (30% nulls, 60 buyers)", demand_buyers),
+    ):
+        demand = demand_from_valuations(valuations)
+        result = tatonnement(demand, supply=SUPPLY, initial_price=1.0,
+                             learning_rate=0.15)
+        lower, upper = clearing_price_bounds(valuations, SUPPLY)
+        results[name] = (result, lower, upper, valuations)
+    return results
+
+
+def test_e12_report(scenario, table, benchmark):
+    rows = []
+    for name, (result, lower, upper, _vals) in scenario.items():
+        rows.append(
+            (
+                name,
+                round(result.price, 2),
+                f"[{lower:.1f}, {upper:.1f}]",
+                result.iterations,
+                result.converged,
+            )
+        )
+    table(
+        ["dataset", "tatonnement price", "clearing band", "iterations",
+         "converged"],
+        rows,
+        title=f"E12: price tracks demand, not intrinsic quality (supply={SUPPLY})",
+    )
+    valuations = buyers_for(60, 40.0, seed=2)
+    demand = demand_from_valuations(valuations)
+    benchmark(tatonnement, demand, SUPPLY, 1.0, 0.15)
+
+
+def test_e12_demand_dominates_quality(scenario):
+    (quality_key, demand_key) = list(scenario)
+    quality_price = scenario[quality_key][0].price
+    demand_price = scenario[demand_key][0].price
+    # the hot noisy dataset prices well above the pristine niche one
+    assert demand_price > 1.5 * quality_price
+
+
+def test_e12_prices_land_in_clearing_band(scenario):
+    for name, (result, lower, upper, _vals) in scenario.items():
+        assert result.converged, name
+        assert lower * 0.9 <= result.price <= upper * 1.1, name
+
+
+def test_e12_price_path_monotone_demand():
+    """Sanity: demand is non-increasing along the discovered price path."""
+    valuations = buyers_for(40, 40.0, seed=3)
+    demand = demand_from_valuations(valuations)
+    checks = sorted({p for p, _d in
+                     tatonnement(demand, 3, 1.0, 0.2).history})
+    demands = [demand(p) for p in checks]
+    assert all(b <= a for a, b in zip(demands, demands[1:]))

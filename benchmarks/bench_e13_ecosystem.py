@@ -1,0 +1,131 @@
+"""E13 — The economic-opportunity ecosystem (§7.1).
+
+"A well-functioning market generates economic opportunities for other
+players besides sellers and buyers": arbitrageurs who buy/transform/resell,
+and opportunistic sellers who collect data the arbiter signals demand for.
+
+We run the same market with and without the two actor types and measure
+attribute coverage and transactions.  Expected shape: with actors, demand
+gaps close (opportunistic collection) and derived datasets appear
+(arbitrage), so later buyer cohorts complete strictly more transactions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market import Arbiter, BuyerPlatform, external_market
+from repro.relation import Column, Relation
+from repro.simulator import Arbitrageur, OpportunisticSeller
+
+
+def base_dataset() -> Relation:
+    return Relation(
+        "base_features",
+        [Column("entity_id", "int", "entity"), Column("x", "float")],
+        [(i, float(i) * 0.1) for i in range(200)],
+    )
+
+
+def collected_y() -> Relation:
+    return Relation(
+        "collected_y",
+        [Column("entity_id", "int", "entity"), Column("y", "float")],
+        [(i, float(i) * 0.2) for i in range(200)],
+    )
+
+
+def demand_round(arbiter: Arbiter, cohort: str, n_buyers: int) -> int:
+    """A cohort of buyers who need attributes x and y together."""
+    served = 0
+    for i in range(n_buyers):
+        name = f"{cohort}_{i}"
+        buyer = BuyerPlatform(name)
+        arbiter.register_participant(name, funding=300.0)
+        wtp = buyer.completeness_wtp(
+            wanted_keys=list(range(100)),
+            attributes=["x", "y"],
+            price_steps=[(0.8, 30.0)],
+        )
+        buyer.submit(arbiter, wtp)
+    result = arbiter.run_round()
+    return result.transactions
+
+
+def run_economy(with_actors: bool) -> dict[str, float]:
+    arbiter = Arbiter(external_market())
+    arbiter.accept_dataset(base_dataset(), seller="s1")
+    t1 = demand_round(arbiter, "cohort1", 3)  # y missing: no trades
+
+    if with_actors:
+        scout = OpportunisticSeller(
+            "scout", {"y": collected_y}, collection_cost=0.5
+        )
+        scout.scan_and_collect(arbiter)
+        arb = Arbitrageur("arb")
+        arb.join_market(arbiter, funding=200.0)
+        delivered = arb.acquire(
+            arbiter, attributes=["x", "y"],
+            wanted_keys=list(range(100)), max_price=10.0,
+        )
+        if delivered is not None:
+            arb.relist(
+                arbiter, delivered, "arb_bundle",
+                transform=lambda rel: rel.extend(
+                    Column("xy", "float"),
+                    lambda row: (row["x"] or 0.0) * (row["y"] or 0.0),
+                ),
+            )
+
+    t2 = demand_round(arbiter, "cohort2", 3)
+    return {
+        "cohort1": t1,
+        "cohort2": t2,
+        "datasets": len(arbiter.builder.datasets),
+        "open_gaps": len(arbiter.negotiation.open_requests()),
+    }
+
+
+@pytest.fixture(scope="module")
+def economies():
+    return {
+        "without actors": run_economy(False),
+        "with actors": run_economy(True),
+    }
+
+
+def test_e13_report(economies, table, benchmark):
+    rows = [
+        (
+            name,
+            int(e["cohort1"]),
+            int(e["cohort2"]),
+            int(e["datasets"]),
+            int(e["open_gaps"]),
+        )
+        for name, e in economies.items()
+    ]
+    table(
+        ["economy", "cohort-1 sales", "cohort-2 sales", "datasets listed",
+         "open demand gaps"],
+        rows,
+        title="E13: arbitrageurs + opportunistic sellers expand the market",
+    )
+    benchmark(run_economy, False)
+
+
+def test_e13_first_cohort_always_unserved(economies):
+    for e in economies.values():
+        assert e["cohort1"] == 0  # attribute y does not exist yet
+
+
+def test_e13_actors_unlock_second_cohort(economies):
+    assert economies["without actors"]["cohort2"] == 0
+    assert economies["with actors"]["cohort2"] >= 1
+
+
+def test_e13_actors_grow_the_catalog_and_close_gaps(economies):
+    without = economies["without actors"]
+    with_a = economies["with actors"]
+    assert with_a["datasets"] > without["datasets"]
+    assert with_a["open_gaps"] < without["open_gaps"]

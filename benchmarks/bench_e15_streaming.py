@@ -1,0 +1,85 @@
+"""E15 (extension) — Streaming markets with dynamic buyer arrival (§8.2).
+
+The paper builds on designs where "buyers and sellers arriv[e] in a
+streaming fashion" (Moor, NetEcon'19).  We sweep arrival rate and buyer
+patience and compare a one-unit Vickrey (scarce good) against a posted
+price (replicable good).  Expected shape: posted prices serve a constant
+fraction instantly at any load; the single-unit auction saturates at one
+sale per round, so its service rate collapses as load grows while its
+per-unit price rises with the backlog.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms import PostedPriceMechanism, VickreyAuction
+from repro.simulator import simulate_streaming_market, uniform_values
+
+RATES = (1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for rate in RATES:
+        for name, mech in (
+            ("vickrey-1", VickreyAuction(k=1)),
+            ("posted-50", PostedPriceMechanism(price=50.0)),
+        ):
+            m = simulate_streaming_market(
+                mech, uniform_values(0, 100),
+                arrival_rate=rate, patience=3, n_rounds=150, seed=5,
+            )
+            rows.append(
+                (
+                    name,
+                    rate,
+                    m.arrivals,
+                    round(m.service_rate, 3),
+                    round(m.mean_wait, 2),
+                    round(m.revenue / max(m.served, 1), 1),
+                )
+            )
+    return rows
+
+
+def test_e15_report(sweep, table, benchmark):
+    table(
+        ["mechanism", "arrival rate", "arrivals", "service rate",
+         "mean wait", "revenue / sale"],
+        sweep,
+        title="E15: streaming market (patience 3, 150 rounds)",
+    )
+    benchmark(
+        simulate_streaming_market,
+        PostedPriceMechanism(price=50.0),
+        uniform_values(0, 100),
+        4.0, 3, 50, 0,
+    )
+
+
+def test_e15_posted_service_rate_load_invariant(sweep):
+    rates = {
+        rate: sr for name, rate, _a, sr, _w, _r in sweep
+        if name == "posted-50"
+    }
+    values = list(rates.values())
+    assert max(values) - min(values) < 0.12  # ~constant across load
+
+
+def test_e15_auction_saturates_under_load(sweep):
+    auction = {
+        rate: sr for name, rate, _a, sr, _w, _r in sweep
+        if name == "vickrey-1"
+    }
+    assert auction[8.0] < auction[1.0]  # service collapses with load
+    assert auction[8.0] < 0.35
+
+
+def test_e15_auction_price_rises_with_backlog(sweep):
+    price = {
+        rate: r for name, rate, _a, _sr, _w, r in sweep
+        if name == "vickrey-1"
+    }
+    assert price[8.0] > price[1.0]

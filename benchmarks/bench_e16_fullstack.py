@@ -1,0 +1,111 @@
+"""E16 (extension) — Full-stack deployment simulation (§6.1 + Fig. 1).
+
+The mechanism-level simulator (E1) isolates the rules; this experiment runs
+the same strategy populations through the *complete* DMMS — mashup builder,
+WTP evaluator, licensing, ledger — so the simulated market is byte-for-byte
+the deployed one.  Expected shape: the qualitative E1 conclusions survive
+the full stack (truthful players never lose under IC designs; shading under
+a binding reserve kills transactions; the internal design maximizes
+allocations), and the end-to-end ledger/audit invariants hold every round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.market import exclusive_auction_market, internal_market
+from repro.simulator import simulate_market_deployment, uniform_values
+
+POPULATIONS = {
+    "truthful": {"truthful": 1.0},
+    "deep shading": {"shading": 1.0},
+    "mixed": {"truthful": 0.5, "shading": 0.25, "ignorant": 0.25},
+}
+KWARGS = {"deep shading": {"shading": {"factor": 0.5}}}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    world = make_classification_world(
+        n_entities=120, feature_weights=(1.0, 1.0),
+        dataset_features=((0,), (1,)), seed=61,
+    )
+    return world.datasets
+
+
+@pytest.fixture(scope="module")
+def grid(datasets):
+    out = {}
+    for design_name, design_factory in (
+        ("auction r=60", lambda: exclusive_auction_market(k=1, reserve=60.0)),
+        ("internal", internal_market),
+    ):
+        for pop_name, mix in POPULATIONS.items():
+            out[(design_name, pop_name)] = simulate_market_deployment(
+                design_factory(),
+                datasets,
+                wanted_attributes=["f0", "f1"],
+                value_sampler=uniform_values(10, 100),
+                strategy_mix=mix,
+                strategy_kwargs=KWARGS.get(pop_name),
+                n_buyers=6,
+                n_rounds=8,
+                seed=3,
+            )
+    return out
+
+
+def test_e16_report(grid, table, benchmark, datasets):
+    rows = []
+    for (design, pop), r in sorted(grid.items()):
+        honest = r.by_strategy.get("truthful")
+        rows.append(
+            (
+                design,
+                pop,
+                r.transactions,
+                round(r.revenue, 1),
+                round(r.welfare, 1),
+                round(honest.mean_utility, 1) if honest else "-",
+                round(r.seller_gini, 3),
+            )
+        )
+    table(
+        ["design", "population", "transactions", "revenue", "welfare",
+         "truthful mean utility", "seller gini"],
+        rows,
+        title="E16: full-DMMS simulation (6 buyers, 8 rounds)",
+    )
+    benchmark(
+        simulate_market_deployment,
+        internal_market(),
+        datasets,
+        ["f0", "f1"],
+        uniform_values(10, 100),
+        {"truthful": 1.0},
+        None,
+        4,  # n_buyers
+        2,  # n_rounds
+    )
+
+
+def test_e16_truthful_never_lose_under_ic_designs(grid):
+    for (_design, _pop), r in grid.items():
+        honest = r.by_strategy.get("truthful")
+        if honest is not None:
+            assert honest.utility >= -1e-9
+
+
+def test_e16_shading_kills_reserve_gated_sales(grid):
+    honest = grid[("auction r=60", "truthful")]
+    shaded = grid[("auction r=60", "deep shading")]
+    assert shaded.transactions < honest.transactions
+
+
+def test_e16_internal_design_maximizes_allocations(grid):
+    for pop in POPULATIONS:
+        internal = grid[("internal", pop)]
+        auction = grid[("auction r=60", pop)]
+        assert internal.transactions >= auction.transactions
+        assert internal.revenue == 0.0  # free allocation, point rewards

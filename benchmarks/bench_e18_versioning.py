@@ -1,0 +1,88 @@
+"""E18 (extension) — Versioning information goods (§2/§8.2, Varian).
+
+The paper cites Varian's "Versioning: the smart way to sell information".
+A seller facing whales (linear utility) and casual buyers (concave utility
+— a sample captures most of their value) designs a two-version menu.
+Expected shape: deliberately damaging the good and screening beats both
+serving only whales and a single price for everyone, the damaged version's
+optimal quality moves with the casual segment's size, and every menu is
+incentive-compatible by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.pricing import (
+    BuyerType,
+    design_version_menu,
+    menu_is_incentive_compatible,
+)
+
+WHALE_VALUE = 100.0
+CASUAL_VALUE = 40.0
+
+
+def types_for(casual_fraction: float):
+    high = BuyerType("whale", 1.0 - casual_fraction,
+                     lambda q: WHALE_VALUE * q)
+    low = BuyerType("casual", casual_fraction,
+                    lambda q: CASUAL_VALUE * math.sqrt(q))
+    return high, low
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for casual_fraction in (0.3, 0.5, 0.7, 0.9):
+        high, low = types_for(casual_fraction)
+        menu = design_version_menu(high, low)
+        high_only = high.fraction * high.utility(1.0)
+        single = (high.fraction + low.fraction) * low.utility(1.0)
+        rows.append(
+            (
+                casual_fraction,
+                menu.strategy,
+                round(menu.low.quality, 3) if menu.low else "-",
+                round(menu.low.price, 1) if menu.low else "-",
+                round(menu.high.price, 1),
+                round(menu.expected_revenue, 2),
+                round(max(high_only, single), 2),
+                menu_is_incentive_compatible(menu, high, low),
+            )
+        )
+    return rows
+
+
+def test_e18_report(sweep, table, benchmark):
+    table(
+        ["casual fraction", "strategy", "low quality", "low price",
+         "high price", "menu revenue", "best degenerate", "IC"],
+        sweep,
+        title="E18: Varian versioning menus (whales 100, casual 40*sqrt(q))",
+    )
+    high, low = types_for(0.7)
+    benchmark(design_version_menu, high, low)
+
+
+def test_e18_screening_dominates(sweep):
+    for _f, strategy, _q, _pl, _ph, revenue, degenerate, _ic in sweep:
+        # the optimal menu never does worse than the degenerate options...
+        assert revenue >= degenerate - 1e-9
+    # ...and strictly screens whenever whales are a meaningful share
+    for row in sweep:
+        if row[0] <= 0.7:
+            assert row[1] == "screen"
+            assert row[5] > row[6]
+
+
+def test_e18_all_menus_incentive_compatible(sweep):
+    assert all(row[-1] for row in sweep)
+
+
+def test_e18_damage_shrinks_as_casual_segment_grows(sweep):
+    """More casual buyers -> serve them better (higher low quality)."""
+    qualities = [row[2] for row in sweep]
+    assert qualities == sorted(qualities)

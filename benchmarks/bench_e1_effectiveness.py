@@ -1,0 +1,125 @@
+"""E1 — Market-design effectiveness under strategic populations (§6.1).
+
+The paper's evaluation plan: simulate market designs against truthful,
+strategic (shading/overbidding), ignorant, risk-loving and faulty player
+populations and measure how revenue, welfare, and the honest players'
+utility hold up.  Expected shape: incentive-compatible designs (Vickrey,
+RSOP, posted) keep truthful players' utility non-negative and degrade
+gracefully; revenue under universal shading collapses for posted prices but
+not for second-price-style rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms import PostedPriceMechanism, RSOPAuction, VickreyAuction
+from repro.simulator import (
+    SimulationConfig,
+    compare_designs,
+    simulate_mechanism,
+    uniform_values,
+)
+
+POPULATIONS = {
+    "truthful": {"truthful": 1.0},
+    "shading": {"shading": 1.0},
+    "overbidding": {"overbidding": 1.0},
+    "ignorant": {"ignorant": 1.0},
+    "faulty": {"faulty": 1.0},
+    "mixed": {
+        "truthful": 0.4, "shading": 0.2, "overbidding": 0.1,
+        "ignorant": 0.15, "faulty": 0.15,
+    },
+}
+
+MECHANISMS = [
+    VickreyAuction(k=1),
+    RSOPAuction(seed=0),
+    PostedPriceMechanism(price=50.0),  # Myerson price for U[0, 100]
+]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return compare_designs(
+        MECHANISMS,
+        POPULATIONS,
+        uniform_values(0, 100),
+        n_rounds=120,
+        n_buyers=12,
+        seed=7,
+    )
+
+
+def test_e1_report(grid, table, benchmark):
+    benchmark(
+        simulate_mechanism,
+        SimulationConfig(
+            mechanism=VickreyAuction(k=1),
+            n_rounds=20,
+            n_buyers=12,
+            strategy_mix=POPULATIONS["mixed"],
+            value_sampler=uniform_values(0, 100),
+            seed=1,
+        ),
+    )
+    rows = []
+    for (mech, pop), m in sorted(grid.items()):
+        honest = m.by_strategy.get("truthful")
+        rows.append(
+            (
+                mech,
+                pop,
+                round(m.revenue_per_round, 1),
+                round(m.welfare / m.rounds, 1),
+                m.transactions,
+                round(honest.mean_utility, 1) if honest else "-",
+            )
+        )
+    table(
+        ["mechanism", "population", "rev/round", "welfare/round",
+         "transactions", "truthful mean utility"],
+        rows,
+        title="E1: designs under strategic populations (12 buyers, 120 rounds)",
+    )
+
+
+def test_e1_truthful_players_never_lose(grid):
+    """IC designs guarantee non-negative utility to truthful players."""
+    for (mech, _pop), m in grid.items():
+        honest = m.by_strategy.get("truthful")
+        if honest is not None:
+            assert honest.utility >= -1e-9, (mech, honest.utility)
+
+
+def test_e1_shading_collapses_posted_but_not_vickrey(grid):
+    """Posted-price revenue halves under universal shading of U[0,100]
+    values (bids 0.7v clear 50 only when v >= 71); Vickrey still sells every
+    round because allocation depends on relative ranks."""
+    posted_truthful = grid[("posted", "truthful")].revenue
+    posted_shading = grid[("posted", "shading")].revenue
+    assert posted_shading < 0.75 * posted_truthful
+    vickrey_truthful = grid[("vickrey", "truthful")].transactions
+    vickrey_shading = grid[("vickrey", "shading")].transactions
+    assert vickrey_shading == vickrey_truthful  # one sale per round
+
+
+def test_e1_overbidding_hurts_the_overbidders(grid):
+    """Overbidders win more but pay above value: negative mean utility
+    is the textbook outcome under second-price with universal overbidding."""
+    m = grid[("vickrey", "overbidding")]
+    over = m.by_strategy["overbidding"]
+    truthful_m = grid[("vickrey", "truthful")]
+    honest = truthful_m.by_strategy["truthful"]
+    assert over.mean_utility < honest.mean_utility
+
+
+def test_e1_welfare_highest_under_truthful_vickrey(grid):
+    """Vickrey + truthful players allocate to the highest-value buyer:
+    welfare under any distorted population cannot exceed it."""
+    best = grid[("vickrey", "truthful")].welfare
+    for pop in ("shading", "ignorant", "faulty", "mixed"):
+        assert grid[("vickrey", pop)].welfare <= best * 1.001
+
+

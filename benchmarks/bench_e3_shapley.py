@@ -1,0 +1,151 @@
+"""E3 — Efficiency of revenue-allocation algorithms (§6.1, §3.2.3).
+
+The paper plans empirical evaluations of mechanism algorithms and is
+explicitly "investigating alternative approaches that are more
+computationally efficient [than the Shapley value]".  We compare:
+
+* exact Shapley (2^n coalition evaluations),
+* permutation Monte Carlo,
+* truncated Monte Carlo (Ghorbani & Zou),
+* leave-one-out,
+* KNN-Shapley (Jia et al.: exact in O(n log n) per test point).
+
+Expected shape: exact blows up exponentially in player count; MC costs a
+constant number of evaluations with small error; TMC cuts evaluations
+further; LOO is cheapest but misses synergies; KNN-Shapley values
+thousands of *rows* exactly in the time generic estimators value ten
+datasets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.valuation import (
+    CoalitionGame,
+    exact_shapley,
+    knn_shapley,
+    knn_utility,
+    leave_one_out,
+    monte_carlo_shapley,
+    shapley_error,
+    truncated_monte_carlo_shapley,
+)
+
+
+def capped_game(n: int, seed: int = 0) -> CoalitionGame:
+    rng = np.random.default_rng(seed)
+    weights = {f"p{i}": float(rng.uniform(0.2, 1.0)) for i in range(n)}
+    cap = 0.6 * sum(weights.values())
+    return CoalitionGame.of(
+        list(weights), lambda s: min(sum(weights[p] for p in s), cap)
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    exact_cache = {}
+    for n in (4, 6, 8, 10):
+        game = capped_game(n)
+        t0 = time.perf_counter()
+        exact = exact_shapley(game)
+        t_exact = time.perf_counter() - t0
+        exact_cache[n] = exact
+        evals_exact = game.evaluations
+
+        for label, runner in (
+            ("mc-100", lambda g: monte_carlo_shapley(g, 100, seed=1)),
+            ("tmc-100", lambda g: truncated_monte_carlo_shapley(
+                g, 100, truncation_tolerance=0.02, seed=1)),
+            ("loo", leave_one_out),
+        ):
+            g = capped_game(n)
+            t0 = time.perf_counter()
+            estimate = runner(g)
+            elapsed = time.perf_counter() - t0
+            rows.append(
+                (
+                    n,
+                    label,
+                    g.evaluations,
+                    round(elapsed * 1000, 2),
+                    round(shapley_error(estimate, exact), 4),
+                )
+            )
+        rows.append((n, "exact", evals_exact, round(t_exact * 1000, 2), 0.0))
+    return rows
+
+
+def test_e3_report(sweep, table, benchmark):
+    benchmark(exact_shapley, capped_game(8))
+    table(
+        ["players", "estimator", "evaluations", "time (ms)", "MAE vs exact"],
+        sorted(sweep),
+        title="E3: Shapley estimators — cost vs error",
+    )
+
+
+def test_e3_exact_cost_is_exponential(sweep):
+    evals = {n: e for n, label, e, _t, _err in sweep if label == "exact"}
+    # subset enumeration: ~2^n distinct coalitions evaluated
+    assert evals[10] > 3.5 * evals[8] > 10 * evals[4]
+
+
+def test_e3_mc_error_small_and_cheaper_than_exact(sweep):
+    mc = {n: (e, err) for n, label, e, _t, err in sweep if label == "mc-100"}
+    exact = {n: e for n, label, e, _t, _err in sweep if label == "exact"}
+    for n, (_evaluations, error) in mc.items():
+        assert error < 0.1
+    # at 10 players MC already evaluates fewer distinct coalitions than
+    # exact enumeration, and the gap widens exponentially beyond
+    assert mc[10][0] < exact[10]
+
+
+def test_e3_truncation_saves_evaluations(sweep):
+    mc = {n: e for n, label, e, _t, _err in sweep if label == "mc-100"}
+    tmc = {n: e for n, label, e, _t, _err in sweep if label == "tmc-100"}
+    assert tmc[10] < mc[10]
+
+
+def test_e3_loo_cheapest_but_biased(sweep):
+    loo = {n: (e, err) for n, label, e, _t, err in sweep if label == "loo"}
+    mc = {n: (e, err) for n, label, e, _t, err in sweep if label == "mc-100"}
+    for n in loo:
+        assert loo[n][0] < mc[n][0]  # far fewer evaluations
+    # the capped game is pure synergy at the cap: LOO misallocates
+    assert loo[10][1] > mc[10][1]
+
+
+@pytest.fixture(scope="module")
+def knn_world():
+    rng = np.random.default_rng(3)
+    x = rng.normal(0, 1, size=(1000, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    return x, y
+
+
+def test_e3_knn_shapley_scales_to_thousands(knn_world, table, benchmark):
+    x, y = knn_world
+    x_test, y_test = x[:20], y[:20]
+    rows = []
+    for n in (100, 300, 1000):
+        t0 = time.perf_counter()
+        values = knn_shapley(x[:n], y[:n], x_test, y_test, k=5)
+        elapsed = time.perf_counter() - t0
+        total = knn_utility(x[:n], y[:n], x_test, y_test, k=5)
+        rows.append(
+            (n, round(elapsed * 1000, 1),
+             round(abs(values.sum() - total), 9))
+        )
+    table(
+        ["training rows", "time (ms)", "|sum(values) - utility|"],
+        rows,
+        title="E3b: exact KNN-Shapley over individual rows",
+    )
+    for _n, _t, gap in rows:
+        assert gap < 1e-6  # efficiency axiom holds exactly
+    benchmark(knn_shapley, x[:300], y[:300], x_test, y_test, 5)

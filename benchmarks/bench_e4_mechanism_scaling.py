@@ -1,0 +1,88 @@
+"""E4 — Mechanism-clearing throughput vs market size (§6.1 Efficiency).
+
+"Market mechanisms are implemented with an algorithm...  We want to
+contribute empirical evaluations of these designs."  We time one clearing
+of each allocation+payment rule as the number of bidders grows.  Expected
+shape: all four rules clear thousands of bidders in milliseconds and scale
+near-linearly (sort-dominated) — the 'practical' requirement of §3.1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    Bid,
+    GSPAuction,
+    PostedPriceMechanism,
+    RSOPAuction,
+    VickreyAuction,
+)
+
+MECHANISMS = [
+    VickreyAuction(k=5),
+    GSPAuction(slot_weights=(1.0, 0.8, 0.6, 0.4, 0.2)),
+    PostedPriceMechanism(price=50.0),
+    RSOPAuction(seed=0),
+]
+SIZES = (100, 1000, 5000, 20000)
+
+
+def make_bids(n: int, seed: int = 0) -> list[Bid]:
+    rng = np.random.default_rng(seed)
+    return [Bid(f"b{i}", float(v)) for i, v in enumerate(rng.uniform(0, 100, n))]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for mechanism in MECHANISMS:
+        for n in SIZES:
+            bids = make_bids(n)
+            t0 = time.perf_counter()
+            outcome = mechanism.run(bids)
+            elapsed = time.perf_counter() - t0
+            rows.append(
+                (
+                    mechanism.name,
+                    n,
+                    round(elapsed * 1000, 2),
+                    len(outcome.winners),
+                    round(outcome.revenue, 1),
+                )
+            )
+    return rows
+
+
+def test_e4_report(sweep, table, benchmark):
+    benchmark(VickreyAuction(k=5).run, make_bids(1000))
+    table(
+        ["mechanism", "bidders", "clear time (ms)", "winners", "revenue"],
+        sweep,
+        title="E4: mechanism clearing throughput",
+    )
+
+
+def test_e4_all_mechanisms_clear_20k_fast(sweep):
+    for mech, n, ms, _w, _r in sweep:
+        if n == 20000:
+            assert ms < 2000, (mech, ms)
+
+
+def test_e4_scaling_is_subquadratic(sweep):
+    by_mech: dict[str, dict[int, float]] = {}
+    for mech, n, ms, _w, _r in sweep:
+        by_mech.setdefault(mech, {})[n] = ms
+    for mech, times in by_mech.items():
+        # 200x more bidders must cost well under 200^2 = 40000x the time
+        ratio = max(times[20000], 0.01) / max(times[100], 0.01)
+        assert ratio < 4000, (mech, ratio)
+
+
+def test_e4_posted_price_serves_half_of_uniform(sweep):
+    served = {n: w for mech, n, _ms, w, _r in sweep if mech == "posted"}
+    for n, winners in served.items():
+        assert winners == pytest.approx(n / 2, rel=0.15)

@@ -1,0 +1,127 @@
+"""E5 — The paper's Section 1 example, measured end to end.
+
+Buyer b1 needs features <a, b, d, e> with an 80%-accuracy gate; seller 1
+has <a, b, c>; seller 2 has <a, b', f(d)> with f(d) = 1.8 d + 32.  The
+experiment verifies the full platform story:
+
+* round 1: mashup of s1 + s2, with f' *synthesized* from the buyer's
+  query-by-example rows, reaches the accuracy gate even without e;
+* the missing attribute e becomes a negotiation request with a bounty;
+* an opportunistic Seller 3 collects e; round 2's mashup beats round 1's
+  accuracy and all three sellers share the revenue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import intro_scenario
+from repro.integration import MashupRequest
+from repro.market import Arbiter, BuyerPlatform, exclusive_auction_market
+from repro.relation import Column, Relation
+from repro.simulator import OpportunisticSeller
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    sc = intro_scenario(seed=7, n_entities=500)
+    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=10.0))
+    arbiter.accept_dataset(sc["s1"], seller="seller_1")
+    arbiter.accept_dataset(sc["s2"], seller="seller_2")
+    buyer = BuyerPlatform("b1")
+    arbiter.register_participant("b1", funding=1000.0)
+    full = sc["world"].full
+    d_pos = full.schema.position("f3")
+    examples = Relation(
+        "examples",
+        [Column("entity_id", "int", "entity"), Column("d", "float")],
+        [(row[0], float(row[d_pos])) for row in full.rows[:12]],
+    )
+    wtp = buyer.classification_wtp(
+        labels=sc["labels"],
+        features=["a", "b", "d", "e"],
+        price_steps=[(0.80, 100.0), (0.90, 150.0)],
+        examples=examples,
+    )
+    buyer.submit(arbiter, wtp)
+    round1 = arbiter.run_round()
+
+    e_pos = full.schema.position("f4")
+    seller_3 = OpportunisticSeller(
+        "seller_3",
+        {"e": lambda: Relation(
+            "s3_collected_e",
+            [Column("entity_id", "int", "entity"), Column("e", "float")],
+            [(row[0], float(row[e_pos])) for row in full.rows],
+        )},
+        collection_cost=0.5,
+    )
+    collected = seller_3.scan_and_collect(arbiter)
+    buyer.submit(arbiter, wtp)
+    round2 = arbiter.run_round()
+    return sc, arbiter, round1, round2, collected, wtp
+
+
+def test_e5_report(scenario, table, benchmark):
+    sc, arbiter, round1, round2, collected, wtp = scenario
+    d1, d2 = round1.deliveries[0], round2.deliveries[0]
+    table(
+        ["round", "sources", "satisfaction", "bid", "paid"],
+        [
+            (1, "+".join(d1.mashup.plan.sources()),
+             round(d1.satisfaction, 3), d1.bid, round(d1.price_paid, 2)),
+            (2, "+".join(d2.mashup.plan.sources()),
+             round(d2.satisfaction, 3), d2.bid, round(d2.price_paid, 2)),
+        ],
+        title="E5: intro scenario (accuracy gate 0.80 -> $100, 0.90 -> $150)",
+    )
+    table(
+        ["dataset", "revenue share (round 2)"],
+        sorted(
+            (k, round(v, 2)) for k, v in d2.split.dataset_shares.items()
+        ),
+        title="E5: revenue split after Seller 3 joins",
+    )
+    builder = arbiter.builder
+    benchmark(
+        builder.build,
+        MashupRequest(attributes=wtp.attributes, key="entity_id",
+                      examples=wtp.examples),
+    )
+
+
+def test_e5_round1_reaches_accuracy_gate(scenario):
+    _sc, _arbiter, round1, _round2, _collected, _wtp = scenario
+    d1 = round1.deliveries[0]
+    assert d1.satisfaction >= 0.80
+    assert d1.bid >= 100.0
+    assert set(d1.mashup.plan.sources()) == {"s1", "s2"}
+    assert d1.mashup.missing == ("e",)
+
+
+def test_e5_f_prime_synthesis_visible_in_plan(scenario):
+    _sc, _arbiter, round1, _r2, _c, _wtp = scenario
+    plan = round1.deliveries[0].mashup.plan.describe()
+    assert "derive d" in plan
+    assert "fahrenheit_to_celsius" in plan  # recognized inverse of 1.8x+32
+
+
+def test_e5_negotiation_and_collection(scenario):
+    _sc, _arbiter, _r1, _r2, collected, _wtp = scenario
+    assert [c.attribute for c in collected] == ["e"]
+
+
+def test_e5_round2_improves_and_pays_all_sellers(scenario):
+    _sc, _arbiter, round1, round2, _c, _wtp = scenario
+    d1, d2 = round1.deliveries[0], round2.deliveries[0]
+    assert d2.satisfaction > d1.satisfaction
+    assert d2.bid >= d1.bid
+    assert set(d2.mashup.plan.sources()) == {"s1", "s2", "s3_collected_e"}
+    assert all(v >= 0 for v in d2.split.dataset_shares.values())
+    assert d2.split.conserves()
+
+
+def test_e5_ledger_and_audit_consistent(scenario):
+    _sc, arbiter, *_ = scenario
+    assert arbiter.ledger.conservation_check()
+    assert arbiter.audit.verify()

@@ -1,0 +1,102 @@
+"""E6 — Arbitrage-freeness of query pricing (§8.2).
+
+"The problem is how to price relational queries... in such a way that
+arbitrage opportunities (obtaining the same data through a different and
+cheaper combination of queries) are not possible."
+
+We generate random priced-bundle catalogs and exhaustively search every
+atom subset for split arbitrage (a query priced above the sum of a
+partition).  Expected shape: the naive sticker-price seller exhibits
+arbitrage in most random catalogs; the min-cover closure pricer never does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing import (
+    ArbitrageFreePricer,
+    NaivePricer,
+    PricedBundle,
+    bundle,
+    exhaustive_arbitrage_search,
+)
+
+ATOMS = ["a", "b", "c", "d", "e"]
+
+
+def random_catalog(seed: int) -> list[PricedBundle]:
+    rng = np.random.default_rng(seed)
+    bundles = [
+        bundle(atom, [atom], float(rng.uniform(5, 20))) for atom in ATOMS
+    ]
+    for j in range(4):  # random multi-atom bundles with arbitrary stickers
+        size = int(rng.integers(2, len(ATOMS) + 1))
+        atoms = list(rng.choice(ATOMS, size=size, replace=False))
+        bundles.append(
+            bundle(f"combo{j}", atoms, float(rng.uniform(10, 90)))
+        )
+    return bundles
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for seed in range(12):
+        catalog = random_catalog(seed)
+        naive = NaivePricer(catalog)
+        closure = ArbitrageFreePricer(catalog)
+        naive_violations = exhaustive_arbitrage_search(naive, ATOMS)
+        closure_violations = exhaustive_arbitrage_search(closure, ATOMS)
+        worst = max(
+            ((direct - split) / direct
+             for _s, direct, split in naive_violations),
+            default=0.0,
+        )
+        rows.append(
+            (seed, len(naive_violations), len(closure_violations),
+             round(worst * 100, 1))
+        )
+    return rows
+
+
+def test_e6_report(sweep, table, benchmark):
+    table(
+        ["catalog seed", "naive arbitrage sets", "closure arbitrage sets",
+         "worst naive overprice %"],
+        sweep,
+        title="E6: split-arbitrage search over all 31 atom subsets",
+    )
+    pricer = ArbitrageFreePricer(random_catalog(0))
+    benchmark(pricer.price, ATOMS)
+
+
+def test_e6_closure_is_always_arbitrage_free(sweep):
+    for _seed, _naive, closure_violations, _worst in sweep:
+        assert closure_violations == 0
+
+
+def test_e6_naive_is_usually_arbitrageable(sweep):
+    vulnerable = sum(1 for _s, n, _c, _w in sweep if n > 0)
+    assert vulnerable >= len(sweep) // 2
+
+
+def test_e6_closure_never_exceeds_naive():
+    for seed in range(6):
+        catalog = random_catalog(seed)
+        naive = NaivePricer(catalog)
+        closure = ArbitrageFreePricer(catalog)
+        for mask in range(1, 1 << len(ATOMS)):
+            subset = [ATOMS[i] for i in range(len(ATOMS)) if mask & (1 << i)]
+            try:
+                naive_price = naive.price(subset)
+            except PricingError:
+                continue
+            assert closure.price(subset) <= naive_price + 1e-9
+
+
+def test_e6_monotonicity_spot_check():
+    pricer = ArbitrageFreePricer(random_catalog(3))
+    assert pricer.check_monotone_sample(ATOMS)

@@ -1,0 +1,108 @@
+"""E7 — Truthfulness of the ex-post mechanism (§3.2.2.2).
+
+"Buyers get the data they want before they pay any money for it...  The
+crucial aspect of the mechanisms we are designing is that they make
+reporting the real value the buyer's preferred strategy."
+
+We sweep the (audit probability q, penalty multiplier m) grid and, for each
+configuration, grid-search the buyer's optimal report and measure the
+expected-utility gap between truthful and optimal play.  Expected shape:
+truthful reporting is optimal exactly on the q·m >= 1 region; below it the
+optimal report collapses to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import ExPostMechanism, ExPostReport
+
+GRID_Q = (0.05, 0.1, 0.2, 0.3, 0.5, 1.0)
+GRID_M = (0.5, 1.0, 2.0, 4.0, 10.0)
+TRUE_VALUE = 100.0
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for q in GRID_Q:
+        for m in GRID_M:
+            mech = ExPostMechanism(
+                payment_share=0.5, audit_probability=q, penalty_multiplier=m
+            )
+            best = mech.best_report(TRUE_VALUE)
+            u_best = mech.expected_utility(TRUE_VALUE, best)
+            u_truth = mech.expected_utility(TRUE_VALUE, TRUE_VALUE)
+            rows.append(
+                (
+                    q,
+                    m,
+                    round(q * m, 2),
+                    mech.is_truthful_config(),
+                    round(best, 1),
+                    round(u_best - u_truth, 3),
+                )
+            )
+    return rows
+
+
+def test_e7_report(sweep, table, benchmark):
+    table(
+        ["audit q", "penalty m", "q*m", "predicted truthful",
+         "optimal report", "gain from lying"],
+        sweep,
+        title=f"E7: ex-post reporting incentives (true value {TRUE_VALUE:g})",
+    )
+    mech = ExPostMechanism()
+    rng = np.random.default_rng(0)
+    reports = [ExPostReport(f"b{i}", 50.0, 60.0) for i in range(100)]
+    benchmark(mech.settle, reports, rng)
+
+
+def test_e7_qm_condition_predicts_truthfulness(sweep):
+    for q, m, qm, predicted, best, gain in sweep:
+        if qm == pytest.approx(1.0):
+            # exact boundary: the buyer is indifferent between all reports
+            assert predicted and gain <= 1e-9
+        elif qm > 1.0:
+            assert predicted
+            assert best == pytest.approx(TRUE_VALUE)
+            assert gain <= 1e-9
+        else:
+            assert not predicted
+            # under-auditing: lying strictly gains, optimal report is 0
+            assert best == pytest.approx(0.0)
+            assert gain > 0
+
+
+def test_e7_empirical_settlement_matches_expectation():
+    """Monte-Carlo settlement reproduces the closed-form expected utility."""
+    mech = ExPostMechanism(
+        payment_share=0.5, audit_probability=0.3, penalty_multiplier=4.0
+    )
+    rng = np.random.default_rng(1)
+    n = 4000
+    reported = 40.0
+    charges = mech.settle(
+        [ExPostReport(f"b{i}", reported, TRUE_VALUE) for i in range(n)], rng
+    )
+    mean_utility = float(
+        np.mean([TRUE_VALUE - c.total for c in charges])
+    )
+    assert mean_utility == pytest.approx(
+        mech.expected_utility(TRUE_VALUE, reported), abs=1.5
+    )
+
+
+def test_e7_overreporting_never_helps():
+    mech = ExPostMechanism(
+        payment_share=0.5, audit_probability=0.3, penalty_multiplier=4.0
+    )
+    rng = np.random.default_rng(2)
+    over = mech.settle([ExPostReport("b", 150.0, TRUE_VALUE)] * 200, rng)
+    truthful = mech.settle([ExPostReport("b", TRUE_VALUE, TRUE_VALUE)] * 200,
+                           rng)
+    assert np.mean([c.total for c in over]) > np.mean(
+        [c.total for c in truthful]
+    )

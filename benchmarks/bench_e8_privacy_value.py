@@ -1,0 +1,84 @@
+"""E8 — The privacy-value trade-off curve (§4.2, §8.2).
+
+"The higher the privacy level, the less the dataset is perturbed, meaning
+the dataset will be of higher quality.  Therefore, the higher the privacy
+level, the higher the price of the dataset."
+
+A seller releases a feature dataset at increasing ε; for each release we
+measure the buyer's classifier accuracy and the menu price.  Expected
+shape: accuracy rises monotonically (up to noise) from coin-flip towards
+the clean-data ceiling; the price curve is increasing and concave in ε.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro.datagen import make_classification_world
+from repro.ml import LogisticRegression, accuracy, train_test_split
+from repro.pricing import PrivacyPriceMenu
+from repro.privacy import perturb_numeric_column
+
+EPSILONS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 20.0)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    world = make_classification_world(
+        n_entities=600, feature_weights=(2.0, 1.5),
+        dataset_features=((0, 1),), seed=3,
+    )
+    clean = world.datasets[0]
+    labels = {r[0]: r[1] for r in world.label_relation.rows}
+    menu = PrivacyPriceMenu("features", clean_price=100.0, epsilon_half=1.0)
+    rng = np.random.default_rng(0)
+    rows = []
+    for eps in EPSILONS:
+        noisy = clean
+        for column in ("f0", "f1"):
+            noisy = perturb_numeric_column(noisy, column, eps, rng)
+        x = np.array([[r[1], r[2]] for r in noisy.rows], dtype=float)
+        y = np.array([labels[r[0]] for r in noisy.rows], dtype=int)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, seed=1)
+        model = LogisticRegression(epochs=150).fit(x_tr, y_tr)
+        acc = accuracy(y_te, model.predict(x_te))
+        rows.append((eps, round(menu.price_for_epsilon(eps), 2),
+                     round(acc, 3)))
+    return rows
+
+
+def test_e8_report(curve, table, benchmark):
+    table(
+        ["epsilon", "menu price", "buyer accuracy"],
+        curve,
+        title="E8: privacy-value trade-off (clean price 100)",
+    )
+    world = make_classification_world(n_entities=400, seed=1)
+    rng = np.random.default_rng(0)
+    benchmark(
+        perturb_numeric_column, world.datasets[0], "f0", 1.0, rng
+    )
+
+
+def test_e8_accuracy_increases_with_epsilon(curve):
+    eps = [row[0] for row in curve]
+    acc = [row[2] for row in curve]
+    rho, _p = spearmanr(eps, acc)
+    assert rho > 0.8  # strongly monotone despite training noise
+    assert acc[0] < 0.65  # heavy noise: near coin-flip
+    assert acc[-1] > 0.85  # near-clean data: high accuracy
+
+
+def test_e8_price_increasing_and_concave(curve):
+    prices = [row[1] for row in curve]
+    assert all(b > a for a, b in zip(prices, prices[1:]))
+    # concavity in epsilon: consecutive equal-ratio epsilon steps buy less
+    assert (prices[1] - prices[0]) / (EPSILONS[1] - EPSILONS[0]) > (
+        prices[-1] - prices[-2]
+    ) / (EPSILONS[-1] - EPSILONS[-2])
+
+
+def test_e8_price_never_exceeds_clean(curve):
+    assert all(price < 100.0 for _e, price, _a in curve)

@@ -1,0 +1,180 @@
+"""E9 — Mashup builder quality and scaling (§5).
+
+"The goal of data discovery is to identify a few datasets that are relevant
+to a WTP-function among thousands of diverse heterogeneous datasets."  We
+generate corpora with known ground-truth join structure (the datasets are
+carved from one hidden wide table), then measure:
+
+* join-candidate precision/recall of the index builder vs the generator's
+  ground truth,
+* end-to-end mashup assembly latency as the corpus grows.
+
+Expected shape: precision stays high (signature overlap on a shared key
+universe is a strong signal); recall stays high while the profile/index
+cost grows roughly linearly in corpus size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen import CorpusSpec, generate_corpus
+from repro.discovery import IndexBuilder, MetadataEngine
+from repro.integration import DoDEngine, MashupRequest
+
+SIZES = (5, 10, 20, 40)
+
+
+def corpus_of(n_datasets: int):
+    return generate_corpus(CorpusSpec(
+        n_entities=150,
+        n_numeric=4,
+        n_categorical=3,
+        n_datasets=n_datasets,
+        columns_per_dataset=3,
+        rename_probability=0.2,
+        affine_probability=0.1,
+        code_probability=0.0,
+        noisy_copy_probability=0.1,
+        seed=17,
+    ))
+
+
+def join_quality(corpus) -> tuple[float, float]:
+    """Precision/recall of discovered join pairs vs ground truth."""
+    engine = MetadataEngine()
+    engine.register_batch(corpus.datasets)
+    index = IndexBuilder(engine, min_overlap=0.5)
+    found = {
+        frozenset([(c.left_dataset, c.left_column),
+                   (c.right_dataset, c.right_column)])
+        for c in index.join_candidates(min_score=0.5)
+    }
+    # required truth: the key-column pairs every dataset pair joins on
+    key_truth = {
+        frozenset([(a, ca), (b, cb)])
+        for a, ca, b, cb in corpus.true_joins
+    }
+    # acceptable truth: any two columns carved from the same wide column
+    # genuinely match (same values, same entities) — not false positives
+    transformed = {(t.dataset, t.column) for t in corpus.transforms}
+    acceptable = set(key_truth)
+    bases = [
+        (key, base) for key, base in corpus.column_bases.items()
+        if key not in transformed
+    ]
+    for i, (col_a, base_a) in enumerate(bases):
+        for col_b, base_b in bases[i + 1:]:
+            if base_a == base_b and col_a[0] != col_b[0]:
+                acceptable.add(frozenset([col_a, col_b]))
+    if not found:
+        return 0.0, 0.0
+    precision = len(found & acceptable) / len(found)
+    recall = len(found & key_truth) / len(key_truth)
+    return precision, recall
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for n in SIZES:
+        corpus = corpus_of(n)
+        t0 = time.perf_counter()
+        engine = MetadataEngine()
+        engine.register_batch(corpus.datasets)
+        t_profile = time.perf_counter() - t0
+        index = IndexBuilder(engine, min_overlap=0.5)
+        t0 = time.perf_counter()
+        index.refresh()
+        t_index = time.perf_counter() - t0
+        dod = DoDEngine(engine, index)
+        t0 = time.perf_counter()
+        mashups = dod.build_mashups(
+            MashupRequest(attributes=["num_0", "num_1"], key="entity_id")
+        )
+        t_build = time.perf_counter() - t0
+        precision, recall = join_quality(corpus)
+        rows.append(
+            (
+                n,
+                round(precision, 3),
+                round(recall, 3),
+                round(t_profile * 1000, 1),
+                round(t_index * 1000, 1),
+                round(t_build * 1000, 1),
+                len(mashups),
+            )
+        )
+    return rows
+
+
+def test_e9_report(sweep, table, benchmark):
+    table(
+        ["datasets", "join precision", "join recall", "profile (ms)",
+         "index (ms)", "DoD build (ms)", "mashups"],
+        sweep,
+        title="E9: mashup builder quality and scaling",
+    )
+    corpus = corpus_of(10)
+    engine = MetadataEngine()
+    engine.register_batch(corpus.datasets)
+    index = IndexBuilder(engine, subscribe=False)
+    benchmark(index.refresh)
+
+
+def test_e9_precision_and_recall_high(sweep):
+    for n, precision, recall, *_rest in sweep:
+        assert precision >= 0.8, (n, precision)
+        assert recall >= 0.8, (n, recall)
+
+
+def test_e9_mashups_found_at_every_scale(sweep):
+    for row in sweep:
+        assert row[-1] >= 1
+
+
+def test_e9_profile_cost_roughly_linear(sweep):
+    times = {row[0]: row[3] for row in sweep}
+    # 8x the datasets should cost far less than 64x the profiling time
+    assert times[40] < 20 * max(times[5], 1.0)
+
+
+def test_e9_ablation_overlap_threshold(table, benchmark):
+    """Ablation (DESIGN.md): the index builder's MinHash overlap threshold
+    trades recall against candidate volume.  Expected shape: recall is
+    robust across a wide band; an extreme threshold prunes candidates."""
+    corpus = corpus_of(15)
+    rows = []
+    for threshold in (0.2, 0.5, 0.8, 0.95):
+        engine = MetadataEngine()
+        engine.register_batch(corpus.datasets)
+        index = IndexBuilder(engine, min_overlap=threshold)
+        candidates = index.join_candidates()
+        found = {
+            frozenset([(c.left_dataset, c.left_column),
+                       (c.right_dataset, c.right_column)])
+            for c in candidates
+        }
+        key_truth = {
+            frozenset([(a, ca), (b, cb)])
+            for a, ca, b, cb in corpus.true_joins
+        }
+        recall = len(found & key_truth) / len(key_truth)
+        rows.append((threshold, len(candidates), round(recall, 3)))
+    table(
+        ["min overlap", "candidates", "key-join recall"],
+        rows,
+        title="E9 ablation: index builder overlap threshold (15 datasets)",
+    )
+    # key columns overlap heavily (same entity universe): recall is robust
+    by_threshold = {t: r for t, _c, r in rows}
+    assert by_threshold[0.2] >= by_threshold[0.95]
+    assert by_threshold[0.5] >= 0.9
+    counts = [c for _t, c, _r in rows]
+    assert counts == sorted(counts, reverse=True)  # tighter => fewer
+    engine = MetadataEngine()
+    engine.register_batch(corpus.datasets)
+    index = IndexBuilder(engine, subscribe=False)
+    benchmark(index.refresh)

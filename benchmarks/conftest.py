@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file reproduces one experiment from DESIGN.md's
+per-experiment index (the paper is a vision paper: Section 6 defines an
+evaluation *plan*; these harnesses execute it).  Benchmarks both
+
+* print the table/series a full paper would report (via the ``emit``
+  fixture, which bypasses pytest's capture so rows land in the console and
+  in ``bench_output.txt``), and
+* time their core operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print straight to the terminal, bypassing pytest capture."""
+
+    def _emit(text: str = "") -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def table(emit):
+    """Emit a fixed-width table: table(header_row, data_rows)."""
+
+    def _table(header: list[str], rows: list[tuple], title: str = "") -> None:
+        rendered = [[str(c) for c in row] for row in rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rendered))
+            if rendered
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        if title:
+            emit(f"\n== {title} ==")
+        emit(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        emit("-+-".join("-" * w for w in widths))
+        for row in rendered:
+            emit(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    return _table

@@ -1,0 +1,90 @@
+"""An embeddings market: versioned vector data (Section 4.5).
+
+"Embeddings and vector data are growing fast...  we expect companies will
+rely on the exchange of pre-trained embeddings more and more."  A vendor
+owns full-precision embeddings and — following Varian's versioning logic —
+also lists a cheap sign-quantized version.  Two buyer segments submit
+EmbeddingSimilarityTask WTPs with different quality gates; the market
+routes each to the version matching their willingness to pay.
+
+Run:  python examples/embedding_market.py
+"""
+
+import numpy as np
+
+from repro import Arbiter, BuyerPlatform, exclusive_auction_market
+from repro.relation import Column, Relation, Schema
+from repro.wtp import EmbeddingSimilarityTask, PriceCurve, WTPFunction
+
+DIM = 8
+COLS = [f"emb_{i}" for i in range(DIM)]
+
+
+def embedding_relation(name: str, vectors: np.ndarray,
+                       cols=None) -> Relation:
+    cols = cols or COLS
+    schema = Schema(
+        [Column("entity_id", "int", "entity")] +
+        [Column(c, "float") for c in cols]
+    )
+    rows = [(i, *(float(v) for v in vec)) for i, vec in enumerate(vectors)]
+    return Relation(name, schema, rows)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    vectors = rng.normal(0, 1, size=(200, DIM))
+
+    # the vendor lists two versions of the same embeddings
+    full = embedding_relation("embeddings_fp32", vectors)
+    quantized = embedding_relation(
+        "embeddings_1bit", np.sign(vectors),
+        cols=[f"q_{c}" for c in COLS],
+    )
+
+    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=5.0))
+    arbiter.accept_dataset(full, seller="vector_vendor")
+    arbiter.accept_dataset(quantized, seller="vector_vendor")
+
+    # both buyers hold trusted reference vectors for 20 entities
+    refs = embedding_relation("refs", vectors[:20])
+
+    def submit(buyer_name, columns, quality_gate, price):
+        buyer = BuyerPlatform(buyer_name)
+        arbiter.register_participant(buyer_name, funding=300.0)
+        arbiter.attach_buyer_platform(buyer)
+        ref = refs if columns == COLS else refs.rename(
+            dict(zip(COLS, columns))
+        )
+        wtp = WTPFunction(
+            buyer=buyer_name,
+            task=EmbeddingSimilarityTask(
+                references=ref, embedding_columns=columns
+            ),
+            curve=PriceCurve.single(quality_gate, price),
+            key="entity_id",
+        )
+        arbiter.submit_wtp(wtp)
+        return buyer
+
+    # the precision-hungry lab demands near-exact vectors
+    submit("research_lab", COLS, quality_gate=0.99, price=80.0)
+    result_lab = arbiter.run_round()
+    # the startup is happy with directional (1-bit) vectors, pays less
+    submit("startup", [f"q_{c}" for c in COLS], quality_gate=0.85,
+           price=20.0)
+    result_startup = arbiter.run_round()
+
+    for label, result in (("research lab", result_lab),
+                          ("startup", result_startup)):
+        for d in result.deliveries:
+            print(f"{label}: bought {d.mashup.plan.sources()} "
+                  f"(satisfaction {d.satisfaction:.3f}, "
+                  f"paid {d.price_paid:.2f})")
+    print(f"\nvendor earned: "
+          f"{arbiter.ledger.balance('vector_vendor'):.2f}")
+    print(f"audit verifies: {arbiter.audit.verify()}")
+
+
+if __name__ == "__main__":
+    main()

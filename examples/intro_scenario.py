@@ -1,0 +1,105 @@
+"""The paper's Section 1 example, end to end.
+
+* Buyer b1 wants features <a, b, d, e> and >= 80% accuracy.
+* Seller 1 shares s1 = <a, b, c>.
+* Seller 2 shares s2 = <a, b', f(d)> where f(d) = 1.8*d + 32.
+* Nobody owns e: the gap drives a negotiation round, and an opportunistic
+  Seller 3 collects it for the bounty (Section 7.1).
+
+The arbiter synthesizes the inverse map f' from the buyer's query-by-example
+rows, joins the sellers' data, trains the classifier, and only charges when
+the accuracy gate is met.
+
+Run:  python examples/intro_scenario.py
+"""
+
+import numpy as np
+
+from repro import Arbiter, BuyerPlatform, exclusive_auction_market
+from repro.datagen import intro_scenario
+from repro.relation import Column, Relation
+from repro.simulator import OpportunisticSeller
+
+
+def main() -> None:
+    scenario = intro_scenario(seed=7, n_entities=500)
+    s1, s2, labels = scenario["s1"], scenario["s2"], scenario["labels"]
+    world = scenario["world"]
+
+    # Vickrey with a reserve: a lone bidder pays the reserve, so sellers
+    # earn even without competition (the arbiter's price floor)
+    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=10.0))
+    arbiter.accept_dataset(s1, seller="seller_1")
+    arbiter.accept_dataset(s2, seller="seller_2")
+
+    buyer = BuyerPlatform("b1")
+    arbiter.register_participant("b1", funding=1000.0)
+    arbiter.attach_buyer_platform(buyer)
+
+    # query-by-example rows: b1 knows d for a handful of entities, which
+    # lets the arbiter synthesize f' (the inverse of f(d) = 1.8 d + 32)
+    full = world.full
+    d_pos = full.schema.position("f3")
+    examples = Relation(
+        "examples",
+        [Column("entity_id", "int", "entity"), Column("d", "float")],
+        [(row[0], float(row[d_pos])) for row in full.rows[:12]],
+    )
+
+    wtp = buyer.classification_wtp(
+        labels=labels,
+        features=["a", "b", "d", "e"],
+        price_steps=[(0.80, 100.0), (0.90, 150.0)],
+        examples=examples,
+    )
+    buyer.submit(arbiter, wtp)
+    result = arbiter.run_round()
+
+    print("=== round 1: a, b, d served; e is missing ===")
+    for delivery in result.deliveries:
+        print(f"satisfaction {delivery.satisfaction:.3f}, "
+              f"bid {delivery.bid:.0f}, paid {delivery.price_paid:.2f}")
+        print("plan:")
+        print("  " + delivery.mashup.plan.describe().replace("\n", "\n  "))
+        print(f"missing attributes: {list(delivery.mashup.missing)}")
+
+    print("\nopen negotiation requests:")
+    for request in arbiter.negotiation.open_requests():
+        print(f"  [{request.request_id}] {request.description} "
+              f"(bounty {request.bounty:.1f})")
+
+    # --- Seller 3: no data, but time (Section 7.1) -----------------------
+    e_pos = full.schema.position("f4")
+
+    def collect_e() -> Relation:
+        return Relation(
+            "s3_collected_e",
+            [Column("entity_id", "int", "entity"), Column("e", "float")],
+            [(row[0], float(row[e_pos])) for row in full.rows],
+        )
+
+    seller_3 = OpportunisticSeller(
+        "seller_3", {"e": collect_e}, collection_cost=0.5
+    )
+    collected = seller_3.scan_and_collect(arbiter)
+    print(f"\nSeller 3 collected: "
+          f"{[(r.attribute, r.dataset) for r in collected]}")
+
+    # --- round 2: the full feature set is now available -------------------
+    buyer.submit(arbiter, wtp)
+    result2 = arbiter.run_round()
+    print("\n=== round 2: with e collected ===")
+    for delivery in result2.deliveries:
+        print(f"satisfaction {delivery.satisfaction:.3f}, "
+              f"bid {delivery.bid:.0f}, paid {delivery.price_paid:.2f}")
+        print(f"sources: {delivery.mashup.plan.sources()}")
+        print("revenue shares:")
+        for dataset, share in sorted(delivery.split.dataset_shares.items()):
+            print(f"  {dataset}: {share:.2f}")
+
+    print(f"\nSeller 3 earnings so far: {seller_3.earnings(arbiter):.2f}")
+    print(f"audit verifies: {arbiter.audit.verify()}")
+
+
+if __name__ == "__main__":
+    main()

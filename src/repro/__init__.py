@@ -1,0 +1,71 @@
+"""repro - a data market platform (reproduction of Fernandez, Subramaniam &
+Franklin, "Data Market Platforms: Trading Data Assets to Solve Data
+Problems", PVLDB 13(11), 2020).
+
+The package implements the paper's full stack:
+
+* :mod:`repro.relation` - provenance-carrying relational substrate
+* :mod:`repro.discovery` / :mod:`repro.integration` / :mod:`repro.fusion` /
+  :mod:`repro.mashup` - the Mashup Builder (Fig. 3)
+* :mod:`repro.wtp` - willing-to-pay functions and data tasks
+* :mod:`repro.privacy` - statistical privacy for the seller platform
+* :mod:`repro.valuation` / :mod:`repro.pricing` /
+  :mod:`repro.mechanisms` - the market design toolbox (Fig. 1, box 2)
+* :mod:`repro.market` - the DMMS: arbiter, seller, buyer platforms (Fig. 2)
+* :mod:`repro.simulator` - the market simulator (Fig. 1, box 3)
+
+Quickstart::
+
+    from repro import Arbiter, BuyerPlatform, SellerPlatform, external_market
+
+    arbiter = Arbiter(external_market())
+    seller = SellerPlatform("acme")
+    seller.package(my_relation, reserve_price=5.0)
+    seller.share_all(arbiter)
+
+    buyer = BuyerPlatform("b1")
+    arbiter.register_participant("b1", funding=200.0)
+    arbiter.attach_buyer_platform(buyer)
+    buyer.submit(arbiter, buyer.classification_wtp(
+        labels=my_labels, features=["a", "b"],
+        price_steps=[(0.8, 100.0), (0.9, 150.0)],
+    ))
+    result = arbiter.run_round()
+"""
+
+from .market import (
+    Arbiter,
+    BuyerPlatform,
+    MarketDesign,
+    RoundResult,
+    SellerPlatform,
+    barter_market,
+    exclusive_auction_market,
+    external_market,
+    internal_market,
+)
+from .mashup import MashupBuilder
+from .relation import Column, Relation, Schema
+from .wtp import IntrinsicRequirements, PriceCurve, WTPFunction
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Arbiter",
+    "SellerPlatform",
+    "BuyerPlatform",
+    "MarketDesign",
+    "RoundResult",
+    "external_market",
+    "internal_market",
+    "barter_market",
+    "exclusive_auction_market",
+    "MashupBuilder",
+    "Relation",
+    "Schema",
+    "Column",
+    "WTPFunction",
+    "PriceCurve",
+    "IntrinsicRequirements",
+    "__version__",
+]

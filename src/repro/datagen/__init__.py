@@ -1,0 +1,29 @@
+"""Synthetic data generation: relational corpora and classification worlds."""
+
+from .classification import (
+    ClassificationWorld,
+    intro_scenario,
+    make_classification_world,
+)
+from .tabular import (
+    Corpus,
+    CorpusSpec,
+    NoisyCopyRecord,
+    TransformRecord,
+    conflicting_sources,
+    generate_corpus,
+    time_series,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusSpec",
+    "TransformRecord",
+    "NoisyCopyRecord",
+    "generate_corpus",
+    "time_series",
+    "conflicting_sources",
+    "ClassificationWorld",
+    "make_classification_world",
+    "intro_scenario",
+]

@@ -1,0 +1,137 @@
+"""Synthetic classification tasks whose features live in different datasets.
+
+This reproduces the paper's introductory scenario: buyer ``b1`` needs
+features ⟨a, b, d, e⟩ for a classifier with ≥80% accuracy; seller 1 owns
+⟨a, b, c⟩, seller 2 owns ⟨a, b', f(d)⟩.  Accuracy must *improve* as the
+mashup builder joins more informative features, so the generator plants a
+logistic ground truth in which each feature carries a controlled share of
+the signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..relation import Column, Relation, Schema
+
+
+@dataclass
+class ClassificationWorld:
+    """Ground truth + a set of feature datasets carved out of it."""
+
+    full: Relation  # entity_id, all features, label
+    label_relation: Relation  # entity_id, label (what the buyer owns)
+    feature_names: list[str]
+    weights: dict[str, float]
+    datasets: list[Relation]
+
+
+def make_classification_world(
+    n_entities: int = 400,
+    feature_weights: Sequence[float] = (2.0, 1.5, 0.0, 1.0, 2.5),
+    dataset_features: Sequence[Sequence[int]] = ((0, 1, 2), (0, 3,)),
+    noise: float = 0.5,
+    seed: int = 0,
+) -> ClassificationWorld:
+    """Build a binary classification world.
+
+    ``feature_weights[j]`` is feature j's coefficient in the logistic ground
+    truth (0 = pure noise feature, like attribute ``c`` in the paper's
+    example).  ``dataset_features`` lists, per seller dataset, the feature
+    indices it contains; every dataset also carries ``entity_id``.
+    """
+    rng = np.random.default_rng(seed)
+    k = len(feature_weights)
+    x = rng.normal(0, 1, size=(n_entities, k))
+    logits = x @ np.asarray(feature_weights, dtype=float)
+    logits += rng.normal(0, noise, size=n_entities)
+    labels = (logits > 0).astype(int)
+
+    feature_names = [f"f{j}" for j in range(k)]
+    cols = [Column("entity_id", "int", "entity")]
+    cols += [Column(n, "float", n) for n in feature_names]
+    cols.append(Column("label", "int", "label"))
+    rows = [
+        (i, *(float(v) for v in x[i]), int(labels[i]))
+        for i in range(n_entities)
+    ]
+    full = Relation("full", Schema(cols), rows)
+
+    label_relation = full.project(["entity_id", "label"]).renamed(
+        "buyer_labels"
+    ).with_provenance_root("buyer_labels")
+
+    datasets = []
+    for d, feats in enumerate(dataset_features):
+        names = ["entity_id"] + [feature_names[j] for j in feats]
+        rel = full.project(names).renamed(f"seller_{d}")
+        datasets.append(rel.with_provenance_root(f"seller_{d}"))
+
+    return ClassificationWorld(
+        full=full,
+        label_relation=label_relation,
+        feature_names=feature_names,
+        weights=dict(zip(feature_names, map(float, feature_weights))),
+        datasets=datasets,
+    )
+
+
+def intro_scenario(seed: int = 0, n_entities: int = 500) -> dict:
+    """The paper's Section 1 example, materialized.
+
+    * Buyer b1 owns labels and wants features a, b, d (e is unavailable —
+      an opportunistic seller could later collect it, Section 7.1).
+    * Seller 1 shares s1 = ⟨entity_id, a, b, c⟩ (c is a noise feature).
+    * Seller 2 shares s2 = ⟨entity_id, b', f(d)⟩ where b' is a noisy copy
+      of b and f(d) = 1.8*d + 32 (a Celsius→Fahrenheit-style affine map).
+
+    Returns a dict with the relations and the ground-truth transform.
+    """
+    rng = np.random.default_rng(seed)
+    world = make_classification_world(
+        n_entities=n_entities,
+        feature_weights=(2.0, 1.5, 0.0, 2.5, 1.0),  # a, b, c, d, e
+        dataset_features=((0, 1, 2),),  # seller_0 = s1 with a, b, c
+        noise=0.4,
+        seed=seed,
+    )
+    a, b, c, d, e = "f0", "f1", "f2", "f3", "f4"
+    s1 = (
+        world.datasets[0]
+        .rename({a: "a", b: "b", c: "c"})
+        .renamed("s1")
+        .with_provenance_root("s1")
+    )
+
+    # s2: b' (noisy copy of b) and fd = 1.8*d + 32
+    full = world.full
+    b_idx = full.schema.position(b)
+    d_idx = full.schema.position(d)
+    rows = []
+    for row in full.rows:
+        b_prime = float(row[b_idx]) + float(rng.normal(0, 0.3))
+        fd = 1.8 * float(row[d_idx]) + 32.0
+        rows.append((row[0], b_prime, fd))
+    s2 = Relation(
+        "s2",
+        [
+            Column("entity_id", "int", "entity"),
+            Column("b_prime", "float"),
+            Column("fd", "float"),
+        ],
+        rows,
+    )
+
+    labels = world.label_relation
+    return {
+        "world": world,
+        "s1": s1,
+        "s2": s2,
+        "labels": labels,
+        "transform": ("affine", 1.8, 32.0, "fd", d),
+        "wanted_features": ["a", "b", "d", "e"],
+        "missing_feature": e,
+    }

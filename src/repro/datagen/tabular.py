@@ -1,0 +1,299 @@
+"""Synthetic relational corpora with controlled structure.
+
+This is the substitution for real organizations' data lakes (see DESIGN.md):
+a single hidden *wide table* over a universe of entities is vertically and
+horizontally partitioned into seller datasets.  The generator controls — and
+records as ground truth — exactly the properties the platform must recover:
+
+* which column pairs truly join (shared key columns, possibly renamed),
+* which columns are transformed copies (the paper's ``f(d)``: affine unit
+  conversions or opaque code mappings with a hidden mapping table),
+* which columns are noisy near-duplicates (the paper's ``b'``: same signal,
+  conflicting values — fodder for the fusion operators),
+* how much rows/values overlap across datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..relation import Column, Relation, Schema
+from . import vocab
+
+
+@dataclass(frozen=True)
+class TransformRecord:
+    """Ground truth about a transformed column in some dataset."""
+
+    dataset: str
+    column: str
+    base_column: str
+    kind: str  # "affine" | "code"
+    params: tuple = ()  # (a, b) for affine; () for code
+    mapping: dict | None = None  # code -> original value, for "code"
+
+
+@dataclass(frozen=True)
+class NoisyCopyRecord:
+    """Ground truth about a noisy near-duplicate column (the paper's b')."""
+
+    dataset: str
+    column: str
+    base_column: str
+    error_rate: float
+
+
+@dataclass
+class Corpus:
+    """A generated corpus plus its ground truth."""
+
+    wide: Relation
+    datasets: list[Relation]
+    key_column: str
+    #: per-dataset name of the key column (may be renamed/obfuscated)
+    key_names: dict[str, str] = field(default_factory=dict)
+    #: (dataset_a, col_a, dataset_b, col_b) pairs that truly join
+    true_joins: list[tuple[str, str, str, str]] = field(default_factory=list)
+    transforms: list[TransformRecord] = field(default_factory=list)
+    noisy_copies: list[NoisyCopyRecord] = field(default_factory=list)
+    #: ground truth: (dataset, column) -> wide-table column it derives from
+    column_bases: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def dataset(self, name: str) -> Relation:
+        for d in self.datasets:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Knobs of the corpus generator."""
+
+    n_entities: int = 200
+    n_numeric: int = 4
+    n_categorical: int = 3
+    n_datasets: int = 6
+    columns_per_dataset: int = 3
+    row_fraction: float = 0.7
+    rename_probability: float = 0.3
+    affine_probability: float = 0.2
+    code_probability: float = 0.15
+    noisy_copy_probability: float = 0.2
+    noise_error_rate: float = 0.1
+    include_pii: bool = False
+    seed: int = 0
+
+
+_RENAMES = {
+    "num": ("value", "reading", "measure", "metric", "amount"),
+    "cat": ("label", "category", "group", "segment", "tag"),
+}
+
+
+def _make_wide(spec: CorpusSpec, rng: np.random.Generator) -> Relation:
+    """The hidden wide table the datasets are carved from."""
+    cols: list[Column] = [Column("entity_id", "int", "entity")]
+    rows: list[list] = [[i] for i in range(spec.n_entities)]
+
+    for j in range(spec.n_numeric):
+        name = f"num_{j}"
+        cols.append(Column(name, "float", name))
+        loc = float(rng.uniform(-50, 50))
+        scale = float(rng.uniform(1, 20))
+        values = rng.normal(loc, scale, size=spec.n_entities)
+        for row, v in zip(rows, values):
+            row.append(float(v))
+
+    pools = (vocab.CITIES, vocab.PRODUCTS, vocab.DEPARTMENTS)
+    for j in range(spec.n_categorical):
+        name = f"cat_{j}"
+        cols.append(Column(name, "str", name))
+        pool = pools[j % len(pools)]
+        for row in rows:
+            row.append(vocab.pick(pool, rng))
+
+    if spec.include_pii:
+        cols.append(Column("person_name", "str", "pii_name"))
+        cols.append(Column("person_email", "str", "pii_email"))
+        for row in rows:
+            name = vocab.person_name(rng)
+            row.append(name)
+            row.append(vocab.email(name, rng))
+
+    return Relation("wide", Schema(cols), [tuple(r) for r in rows])
+
+
+def generate_corpus(spec: CorpusSpec) -> Corpus:
+    """Generate a corpus of seller datasets from one hidden wide table."""
+    rng = np.random.default_rng(spec.seed)
+    wide = _make_wide(spec, rng)
+    attr_names = [n for n in wide.columns if n != "entity_id"]
+
+    corpus = Corpus(wide=wide, datasets=[], key_column="entity_id")
+    for d in range(spec.n_datasets):
+        ds_name = f"ds_{d}"
+        n_cols = min(spec.columns_per_dataset, len(attr_names))
+        chosen = list(
+            rng.choice(attr_names, size=n_cols, replace=False)
+        )
+        n_rows = max(2, int(spec.row_fraction * spec.n_entities))
+        row_idx = sorted(
+            int(i)
+            for i in rng.choice(spec.n_entities, size=n_rows, replace=False)
+        )
+
+        columns: list[Column] = [Column("entity_id", "int", "entity")]
+        key_name = "entity_id"
+        if rng.random() < spec.rename_probability:
+            key_name = f"id_{d}"
+            columns[0] = Column(key_name, "int", "entity")
+        corpus.key_names[ds_name] = key_name
+        corpus.column_bases[(ds_name, key_name)] = "entity_id"
+
+        wide_pos = {n: wide.schema.position(n) for n in wide.columns}
+        out_rows: list[list] = [[i] for i in row_idx]
+        for attr in chosen:
+            base_vals = [wide.rows[i][wide_pos[attr]] for i in row_idx]
+            out_name = attr
+            dtype = wide.schema[attr].dtype
+            semantic = wide.schema[attr].semantic
+
+            if rng.random() < spec.rename_probability:
+                kind = "num" if dtype == "float" else "cat"
+                out_name = (
+                    f"{vocab.pick(_RENAMES[kind], rng)}_{attr.split('_')[-1]}"
+                )
+
+            r = rng.random()
+            if dtype == "float" and r < spec.affine_probability:
+                a = float(rng.uniform(0.5, 3.0))
+                b = float(rng.uniform(-10, 10))
+                base_vals = [a * v + b for v in base_vals]
+                out_name = f"{out_name}_x"
+                corpus.transforms.append(
+                    TransformRecord(ds_name, out_name, attr, "affine", (a, b))
+                )
+                semantic = None  # transformed signal loses its tag
+            elif dtype == "str" and r < spec.code_probability:
+                distinct = sorted({v for v in base_vals})
+                mapping = {v: f"C{k:03d}" for k, v in enumerate(distinct)}
+                base_vals = [mapping[v] for v in base_vals]
+                out_name = f"{out_name}_code"
+                corpus.transforms.append(
+                    TransformRecord(
+                        ds_name,
+                        out_name,
+                        attr,
+                        "code",
+                        mapping={code: v for v, code in mapping.items()},
+                    )
+                )
+                semantic = None
+            elif rng.random() < spec.noisy_copy_probability:
+                base_vals = _perturb(
+                    base_vals, dtype, spec.noise_error_rate, rng
+                )
+                corpus.noisy_copies.append(
+                    NoisyCopyRecord(
+                        ds_name, out_name, attr, spec.noise_error_rate
+                    )
+                )
+
+            columns.append(Column(out_name, dtype, semantic))
+            corpus.column_bases[(ds_name, out_name)] = attr
+            for row, v in zip(out_rows, base_vals):
+                row.append(v)
+
+        corpus.datasets.append(
+            Relation(ds_name, Schema(columns), [tuple(r) for r in out_rows])
+        )
+
+    # ground-truth join pairs: every dataset pair joins on its key columns
+    for i, a in enumerate(corpus.datasets):
+        for b in corpus.datasets[i + 1 :]:
+            corpus.true_joins.append(
+                (a.name, corpus.key_names[a.name], b.name, corpus.key_names[b.name])
+            )
+    return corpus
+
+
+def _perturb(values: list, dtype: str, error_rate: float, rng) -> list:
+    """Corrupt a fraction of values (numeric jitter / categorical swap)."""
+    out = []
+    for v in values:
+        if v is not None and rng.random() < error_rate:
+            if dtype == "float":
+                out.append(float(v) * float(rng.uniform(1.05, 1.5)))
+            else:
+                out.append(f"{v}_alt")
+        else:
+            out.append(v)
+    return out
+
+
+def time_series(
+    name: str,
+    n_points: int,
+    step: int,
+    value_fn,
+    seed: int = 0,
+    noise: float = 0.0,
+) -> Relation:
+    """A (t, value) relation sampled on a regular grid — used to exercise the
+    DoD engine's time-granularity interpolation."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for k in range(n_points):
+        t = k * step
+        v = float(value_fn(t))
+        if noise:
+            v += float(rng.normal(0, noise))
+        rows.append((t, v))
+    return Relation(
+        name, [("t", "int", "time"), ("value", "float")], rows
+    )
+
+
+def conflicting_sources(
+    n_sources: int,
+    n_entities: int,
+    accuracies: Sequence[float],
+    vocabulary: Sequence[str] = ("red", "green", "blue", "black"),
+    seed: int = 0,
+) -> tuple[Relation, list[Relation]]:
+    """Sources reporting one categorical claim per entity, each with its own
+    accuracy — ground truth for the fusion / truth-discovery experiments.
+
+    Returns ``(truth, sources)``; each source has schema (entity_id, claim).
+    """
+    if len(accuracies) != n_sources:
+        raise ValueError("need one accuracy per source")
+    rng = np.random.default_rng(seed)
+    truth_vals = [vocab.pick(list(vocabulary), rng) for _ in range(n_entities)]
+    truth = Relation(
+        "truth",
+        [("entity_id", "int", "entity"), ("claim", "str")],
+        list(enumerate(truth_vals)),
+    )
+    sources = []
+    for s, acc in enumerate(accuracies):
+        rows = []
+        for e in range(n_entities):
+            if rng.random() < acc:
+                claim = truth_vals[e]
+            else:
+                wrong = [v for v in vocabulary if v != truth_vals[e]]
+                claim = vocab.pick(wrong, rng)
+            rows.append((e, claim))
+        sources.append(
+            Relation(
+                f"source_{s}",
+                [("entity_id", "int", "entity"), ("claim", "str")],
+                rows,
+            )
+        )
+    return truth, sources

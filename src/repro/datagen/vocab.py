@@ -1,0 +1,55 @@
+"""Deterministic vocabularies for synthetic data (names, cities, products).
+
+The corpus generator uses these pools to synthesize realistic-looking
+categorical and PII columns.  Everything is plain data so generation stays
+reproducible under a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIRST_NAMES = (
+    "ada alan alice amir ana beth carl chen dana dev elena emil fatima finn "
+    "grace hana henry ines ivan jack jana juan kai lara leo lin maria marco "
+    "nadia noah olga omar pablo petra quinn rosa sam sara tariq tess uma "
+    "victor wei xena yara zoe"
+).split()
+
+LAST_NAMES = (
+    "adams baker chen diaz evans fischer garcia haddad ito jensen kim lopez "
+    "meyer novak okafor patel quintero rossi sato tanaka ueda vargas weber "
+    "xu yamada zhang"
+).split()
+
+CITIES = (
+    "amsterdam athens austin bangkok berlin bogota boston cairo chicago "
+    "dakar delhi dublin geneva hanoi havana kyoto lagos lima lisbon london "
+    "madrid manila nairobi oslo paris prague quito rome seoul tokyo vienna "
+    "warsaw"
+).split()
+
+PRODUCTS = (
+    "anvil beacon cable drone easel flange gasket hinge ingot jigsaw kettle "
+    "lathe magnet nozzle oiler pulley quiver rivet spring tongs valve wrench"
+).split()
+
+DEPARTMENTS = (
+    "engineering finance hr legal logistics marketing operations research "
+    "sales support"
+).split()
+
+
+def person_name(rng: np.random.Generator) -> str:
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+    return f"{first} {last}"
+
+
+def email(name: str, rng: np.random.Generator) -> str:
+    domain = ["example.com", "mail.test", "corp.local"][int(rng.integers(3))]
+    return name.replace(" ", ".") + f"{int(rng.integers(100))}@{domain}"
+
+
+def pick(pool: tuple | list, rng: np.random.Generator) -> str:
+    return pool[int(rng.integers(len(pool)))]

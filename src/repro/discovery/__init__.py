@@ -1,0 +1,28 @@
+"""Data discovery: profiling, metadata engine, index builder, search."""
+
+from .index import IndexBuilder, JoinCandidate
+from .metadata import ContextSnapshot, DatasetLifecycle, MetadataEngine
+from .profiler import (
+    ColumnProfile,
+    TableProfile,
+    name_similarity,
+    profile_column,
+    profile_table,
+)
+from .search import AttributeMatch, DatasetHit, DiscoveryEngine
+
+__all__ = [
+    "ColumnProfile",
+    "TableProfile",
+    "profile_column",
+    "profile_table",
+    "name_similarity",
+    "MetadataEngine",
+    "ContextSnapshot",
+    "DatasetLifecycle",
+    "IndexBuilder",
+    "JoinCandidate",
+    "DiscoveryEngine",
+    "AttributeMatch",
+    "DatasetHit",
+]

@@ -1,0 +1,213 @@
+"""The Index Builder (Fig. 3): join candidates and the relationship graph.
+
+Section 5.2: "the index builder materializes join paths between files, and
+it identifies candidate functions to map attributes to each other; i.e., it
+facilitates the DoD's job.  The index builder keeps indexes up-to-date as the
+output schema changes."
+
+Join candidates are proposed from three signals and scored in [0, 1]:
+
+* **value overlap** — MinHash Jaccard between column signatures,
+* **semantic tags** — columns sharing an explicit semantic annotation,
+* **name similarity** — normalized column-name distance,
+
+gated on dtype compatibility and key-likeness of at least one side.  The
+relationship graph is a networkx graph over datasets whose edges carry the
+best join predicate; the DoD engine searches it for join paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import DiscoveryError
+from .metadata import ContextSnapshot, MetadataEngine
+from .profiler import ColumnProfile, name_similarity
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """A scored hypothesis that two columns join."""
+
+    left_dataset: str
+    left_column: str
+    right_dataset: str
+    right_column: str
+    score: float
+    evidence: str  # "overlap" | "semantic" | "name"
+
+    @property
+    def pair(self) -> tuple[tuple[str, str], tuple[str, str]]:
+        return ((self.left_dataset, self.left_column),
+                (self.right_dataset, self.right_column))
+
+    def reversed(self) -> "JoinCandidate":
+        return JoinCandidate(
+            self.right_dataset, self.right_column,
+            self.left_dataset, self.left_column,
+            self.score, self.evidence,
+        )
+
+
+class IndexBuilder:
+    """Maintains join candidates + relationship graph over a MetadataEngine."""
+
+    def __init__(
+        self,
+        engine: MetadataEngine,
+        min_overlap: float = 0.5,
+        min_name_similarity: float = 0.8,
+        subscribe: bool = True,
+    ):
+        self.engine = engine
+        self.min_overlap = min_overlap
+        self.min_name_similarity = min_name_similarity
+        self._candidates: list[JoinCandidate] = []
+        self._graph = nx.Graph()
+        self._stale = True
+        if subscribe:
+            engine.subscribe(self._on_snapshot)
+
+    # -- incremental maintenance -----------------------------------------
+    def _on_snapshot(self, _snapshot: ContextSnapshot) -> None:
+        self._stale = True
+
+    def refresh(self) -> None:
+        """Rebuild candidates/graph from the engine's current profiles."""
+        profiles = self.engine.profiles()
+        columns: list[ColumnProfile] = [
+            c for p in profiles for c in p.columns
+        ]
+        self._candidates = []
+        for i, a in enumerate(columns):
+            for b in columns[i + 1 :]:
+                if a.dataset == b.dataset:
+                    continue
+                cand = self._score_pair(a, b)
+                if cand is not None:
+                    self._candidates.append(cand)
+        self._candidates.sort(
+            key=lambda c: (-c.score, c.left_dataset, c.right_dataset)
+        )
+        self._graph = nx.Graph()
+        for p in profiles:
+            self._graph.add_node(p.dataset, n_rows=p.n_rows)
+        for cand in self._candidates:
+            u, v = cand.left_dataset, cand.right_dataset
+            if (
+                not self._graph.has_edge(u, v)
+                or self._graph.edges[u, v]["score"] < cand.score
+            ):
+                self._graph.add_edge(
+                    u, v,
+                    left=cand.left_column,
+                    right=cand.right_column,
+                    score=cand.score,
+                    evidence=cand.evidence,
+                )
+        self._stale = False
+
+    def _ensure_fresh(self) -> None:
+        if self._stale:
+            self.refresh()
+
+    def _score_pair(
+        self, a: ColumnProfile, b: ColumnProfile
+    ) -> JoinCandidate | None:
+        if not _dtypes_compatible(a.dtype, b.dtype):
+            return None
+        joinable = a.looks_like_key or b.looks_like_key
+        overlap = a.signature.jaccard(b.signature)
+        if joinable and overlap >= self.min_overlap:
+            return JoinCandidate(
+                a.dataset, a.column, b.dataset, b.column, overlap, "overlap"
+            )
+        if (
+            a.semantic is not None
+            and a.semantic == b.semantic
+            and joinable
+        ):
+            return JoinCandidate(
+                a.dataset, a.column, b.dataset, b.column,
+                max(overlap, 0.75), "semantic",
+            )
+        name_sim = name_similarity(a.column, b.column)
+        if joinable and name_sim >= self.min_name_similarity and overlap > 0.1:
+            return JoinCandidate(
+                a.dataset, a.column, b.dataset, b.column,
+                0.5 * name_sim + 0.5 * overlap, "name",
+            )
+        return None
+
+    # -- queries -----------------------------------------------------------
+    def join_candidates(
+        self, dataset: str | None = None, min_score: float = 0.0
+    ) -> list[JoinCandidate]:
+        self._ensure_fresh()
+        out = []
+        for c in self._candidates:
+            if c.score < min_score:
+                continue
+            if dataset is None:
+                out.append(c)
+            elif c.left_dataset == dataset:
+                out.append(c)
+            elif c.right_dataset == dataset:
+                out.append(c.reversed())
+        return out
+
+    @property
+    def graph(self) -> nx.Graph:
+        self._ensure_fresh()
+        return self._graph
+
+    def join_path(self, source: str, target: str) -> list[JoinCandidate]:
+        """Cheapest join path between two datasets (weight = 1 - score)."""
+        self._ensure_fresh()
+        g = self._graph
+        if source not in g or target not in g:
+            raise DiscoveryError(
+                f"unknown dataset in join_path: {source!r} or {target!r}"
+            )
+        try:
+            nodes = nx.shortest_path(
+                g, source, target,
+                weight=lambda u, v, d: 1.0 - d["score"],
+            )
+        except nx.NetworkXNoPath:
+            raise DiscoveryError(
+                f"no join path between {source!r} and {target!r}"
+            ) from None
+        steps = []
+        for u, v in zip(nodes, nodes[1:]):
+            d = g.edges[u, v]
+            # edge attributes are stored from the refresh()-time orientation
+            cand = JoinCandidate(u, d["left"], v, d["right"], d["score"],
+                                 d["evidence"])
+            if not self._orientation_matches(u, d):
+                cand = JoinCandidate(u, d["right"], v, d["left"], d["score"],
+                                     d["evidence"])
+            steps.append(cand)
+        return steps
+
+    def _orientation_matches(self, u: str, edge_data: dict) -> bool:
+        """True if edge attribute 'left' is a column of dataset ``u``."""
+        profile = next(
+            p for p in self.engine.profiles() if p.dataset == u
+        )
+        return any(c.column == edge_data["left"] for c in profile.columns)
+
+    def neighbours(self, dataset: str) -> list[str]:
+        self._ensure_fresh()
+        if dataset not in self._graph:
+            raise DiscoveryError(f"unknown dataset {dataset!r}")
+        return sorted(self._graph.neighbors(dataset))
+
+
+def _dtypes_compatible(a: str, b: str) -> bool:
+    numeric = {"int", "float"}
+    if a in numeric and b in numeric:
+        return True
+    return a == b or "any" in (a, b)

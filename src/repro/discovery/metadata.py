@@ -1,0 +1,183 @@
+"""The Metadata Engine (Fig. 3): ingestion, context snapshots, lifecycle.
+
+Section 5.1 describes a "fully-incremental, always-on system" that reads
+datasets in bulk or via manual registration, divides them into data items,
+and maintains a *time-ordered list of context snapshots* per dataset — each
+capturing content signatures, owners and security credentials at that point
+in time.  The engine's relational *output schema* is produced by the Sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import DiscoveryError
+from ..relation import Relation
+from .profiler import TableProfile, profile_table
+
+
+@dataclass(frozen=True)
+class ContextSnapshot:
+    """State of one dataset's data items at one point in (logical) time."""
+
+    dataset: str
+    version: int
+    logical_time: int
+    content_hash: str
+    profile: TableProfile
+    owners: tuple[str, ...]
+    credentials: str  # e.g. "public", "team:finance", "pii"
+
+
+@dataclass
+class DatasetLifecycle:
+    """Time-ordered snapshots plus the live relation."""
+
+    relation: Relation
+    snapshots: list[ContextSnapshot] = field(default_factory=list)
+
+    @property
+    def current(self) -> ContextSnapshot:
+        return self.snapshots[-1]
+
+    @property
+    def version(self) -> int:
+        return self.current.version
+
+
+class MetadataEngine:
+    """Registers datasets, tracks versions, and profiles data items."""
+
+    def __init__(self, num_perm: int = 64, access_quota: int | None = None):
+        self._lifecycles: dict[str, DatasetLifecycle] = {}
+        self._clock = 0
+        self._num_perm = num_perm
+        #: optional cap on profile refreshes per source system (Section 4.2's
+        #: "optional access quota established by the origin system")
+        self.access_quota = access_quota
+        self._accesses = 0
+        self._listeners: list = []
+
+    # -- ingestion (batch + share interfaces) ---------------------------
+    def register(
+        self,
+        relation: Relation,
+        owner: str = "unknown",
+        credentials: str = "public",
+    ) -> ContextSnapshot:
+        """Share interface: register or update a single dataset."""
+        self._check_quota()
+        name = relation.name
+        content_hash = relation.content_hash()
+        lifecycle = self._lifecycles.get(name)
+        if lifecycle is not None and lifecycle.current.content_hash == content_hash:
+            return lifecycle.current  # unchanged: no new snapshot
+        self._clock += 1
+        version = lifecycle.version + 1 if lifecycle else 1
+        snapshot = ContextSnapshot(
+            dataset=name,
+            version=version,
+            logical_time=self._clock,
+            content_hash=content_hash,
+            profile=profile_table(relation, num_perm=self._num_perm),
+            owners=(owner,),
+            credentials=credentials,
+        )
+        if lifecycle is None:
+            self._lifecycles[name] = DatasetLifecycle(relation, [snapshot])
+        else:
+            lifecycle.relation = relation
+            lifecycle.snapshots.append(snapshot)
+        for listener in self._listeners:
+            listener(snapshot)
+        return snapshot
+
+    def register_batch(
+        self,
+        relations: Iterable[Relation],
+        owner: str = "unknown",
+        credentials: str = "public",
+    ) -> list[ContextSnapshot]:
+        """Batch interface: point at a whole source (lake, DB, CSV dir)."""
+        return [self.register(r, owner, credentials) for r in relations]
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener(snapshot)`` on every new snapshot (index refresh)."""
+        self._listeners.append(listener)
+
+    def _check_quota(self) -> None:
+        self._accesses += 1
+        if self.access_quota is not None and self._accesses > self.access_quota:
+            raise DiscoveryError(
+                f"source access quota exhausted ({self.access_quota})"
+            )
+
+    # -- lookups ---------------------------------------------------------
+    @property
+    def datasets(self) -> list[str]:
+        return sorted(self._lifecycles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._lifecycles
+
+    def relation(self, name: str) -> Relation:
+        return self._lifecycle(name).relation
+
+    def lifecycle(self, name: str) -> DatasetLifecycle:
+        return self._lifecycle(name)
+
+    def snapshot(self, name: str) -> ContextSnapshot:
+        return self._lifecycle(name).current
+
+    def profiles(self) -> list[TableProfile]:
+        return [lc.current.profile for lc in self._lifecycles.values()]
+
+    def _lifecycle(self, name: str) -> DatasetLifecycle:
+        try:
+            return self._lifecycles[name]
+        except KeyError:
+            raise DiscoveryError(f"dataset {name!r} is not registered") from None
+
+    # -- the Sink's relational output schema ------------------------------
+    def output_schema(self) -> Mapping[str, Relation]:
+        """Conceptual relational view of the metadata (Section 5.1's Sink)."""
+        ds_rows, col_rows, snap_rows = [], [], []
+        for name, lc in sorted(self._lifecycles.items()):
+            current = lc.current
+            ds_rows.append(
+                (name, current.version, current.profile.n_rows,
+                 current.credentials, current.owners[0])
+            )
+            for cp in current.profile.columns:
+                null_fraction = cp.categorical.null_fraction
+                col_rows.append(
+                    (name, cp.column, cp.dtype, cp.semantic,
+                     cp.categorical.distinct, round(null_fraction, 6),
+                     round(cp.distinct_fraction, 6))
+                )
+            for snap in lc.snapshots:
+                snap_rows.append(
+                    (name, snap.version, snap.logical_time, snap.content_hash)
+                )
+        return {
+            "datasets": Relation(
+                "meta_datasets",
+                [("dataset", "str"), ("version", "int"), ("rows", "int"),
+                 ("credentials", "str"), ("owner", "str")],
+                ds_rows,
+            ),
+            "columns": Relation(
+                "meta_columns",
+                [("dataset", "str"), ("column", "str"), ("dtype", "str"),
+                 ("semantic", "str"), ("distinct", "int"),
+                 ("null_fraction", "float"), ("distinct_fraction", "float")],
+                col_rows,
+            ),
+            "snapshots": Relation(
+                "meta_snapshots",
+                [("dataset", "str"), ("version", "int"),
+                 ("logical_time", "int"), ("content_hash", "str")],
+                snap_rows,
+            ),
+        }

@@ -1,0 +1,119 @@
+"""Column/table profiling — the Processor stage of the metadata engine.
+
+Section 5.1: each dataset is divided into *data items*; a column data item
+yields a value-distribution signature.  A :class:`ColumnProfile` packages the
+MinHash signature plus summary statistics; a :class:`TableProfile` is the
+per-dataset bundle stored inside context snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+
+from ..relation import Relation
+from ..sketches import CategoricalSummary, MinHash, NumericSummary
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Everything the index builder needs to know about one column."""
+
+    dataset: str
+    column: str
+    dtype: str
+    semantic: str | None
+    signature: MinHash
+    numeric: NumericSummary | None
+    categorical: CategoricalSummary
+    distinct_fraction: float
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.dataset, self.column)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.dtype in ("int", "float")
+
+    @property
+    def looks_like_key(self) -> bool:
+        """High distinctness + non-trivial size: a join-key candidate."""
+        return self.distinct_fraction > 0.85 and self.categorical.count >= 2
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    dataset: str
+    n_rows: int
+    content_hash: str
+    columns: tuple[ColumnProfile, ...]
+
+    def column(self, name: str) -> ColumnProfile:
+        for c in self.columns:
+            if c.column == name:
+                return c
+        raise KeyError(f"no profile for column {name!r} of {self.dataset!r}")
+
+
+def profile_column(
+    relation: Relation, name: str, num_perm: int = 64
+) -> ColumnProfile:
+    col = relation.schema[name]
+    values = relation.column(name)
+    non_null = [v for v in values if v is not None]
+    distinct = {repr(v) for v in non_null}
+    signature = MinHash.of(
+        (_canonical(v) for v in distinct), num_perm=num_perm
+    )
+    numeric = None
+    if col.dtype in ("int", "float"):
+        numeric = NumericSummary.of(values)
+    categorical = CategoricalSummary.of(values)
+    return ColumnProfile(
+        dataset=relation.name,
+        column=name,
+        dtype=col.dtype,
+        semantic=col.semantic,
+        signature=signature,
+        numeric=numeric,
+        categorical=categorical,
+        distinct_fraction=(len(distinct) / len(non_null)) if non_null else 0.0,
+    )
+
+
+def profile_table(relation: Relation, num_perm: int = 64) -> TableProfile:
+    return TableProfile(
+        dataset=relation.name,
+        n_rows=len(relation),
+        content_hash=relation.content_hash(),
+        columns=tuple(
+            profile_column(relation, n, num_perm=num_perm)
+            for n in relation.columns
+        ),
+    )
+
+
+def _canonical(value: object) -> str:
+    """Canonical token for signature hashing (ints and floats unify)."""
+    if isinstance(value, bool):
+        return f"b:{value}"
+    if isinstance(value, (int, float)):
+        return f"n:{float(value):.10g}"
+    return f"s:{value}"
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Similarity of two column names in [0, 1] (case/sep-insensitive)."""
+    na = a.lower().replace("-", "_").strip("_")
+    nb = b.lower().replace("-", "_").strip("_")
+    if na == nb:
+        return 1.0
+    tokens_a, tokens_b = set(na.split("_")), set(nb.split("_"))
+    token_sim = (
+        len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+        if tokens_a | tokens_b
+        else 0.0
+    )
+    char_sim = SequenceMatcher(None, na, nb).ratio()
+    return max(token_sim, char_sim)

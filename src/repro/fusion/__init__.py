@@ -1,0 +1,21 @@
+"""Data fusion: non-1NF cells, fusion operators, truth discovery."""
+
+from .cell import FusedValue
+from .operators import STRATEGIES, auto_signals, conflict_report, fuse, resolve
+from .truth import (
+    TruthDiscoveryResult,
+    discover_truth,
+    resolve_fused_with_truth_discovery,
+)
+
+__all__ = [
+    "FusedValue",
+    "fuse",
+    "resolve",
+    "auto_signals",
+    "conflict_report",
+    "STRATEGIES",
+    "discover_truth",
+    "TruthDiscoveryResult",
+    "resolve_fused_with_truth_discovery",
+]

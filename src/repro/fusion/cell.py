@@ -1,0 +1,106 @@
+"""Multi-valued cells for data fusion.
+
+"The data fusion operators we envision produce relations that break the
+first normal form, that is, each cell value may be multi-valued, with each
+value coming from a differing source" (Section 1).  :class:`FusedValue` is
+that cell: an ordered bundle of (source, value) claims that remembers where
+every signal came from, so buyers "can make up their own minds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import FusionError
+
+
+@dataclass(frozen=True)
+class FusedValue:
+    """A non-1NF cell: one claim per contributing source."""
+
+    claims: tuple[tuple[str, object], ...]
+
+    def __post_init__(self):
+        if not self.claims:
+            raise FusionError("a fused value needs at least one claim")
+
+    @classmethod
+    def of(cls, claims: Iterable[tuple[str, object]]) -> "FusedValue":
+        return cls(tuple(claims))
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return tuple(s for s, _v in self.claims)
+
+    @property
+    def values(self) -> tuple:
+        return tuple(v for _s, v in self.claims)
+
+    def value_from(self, source: str):
+        for s, v in self.claims:
+            if s == source:
+                return v
+        raise FusionError(f"no claim from source {source!r}")
+
+    @property
+    def is_conflicting(self) -> bool:
+        distinct = {repr(v) for _s, v in self.claims if v is not None}
+        return len(distinct) > 1
+
+    # -- resolution --------------------------------------------------------
+    def majority(self) -> object:
+        """Most frequent non-null value (ties broken by repr order)."""
+        counts: dict[str, tuple[int, object]] = {}
+        for _s, v in self.claims:
+            if v is None:
+                continue
+            key = repr(v)
+            n, _ = counts.get(key, (0, v))
+            counts[key] = (n + 1, v)
+        if not counts:
+            return None
+        return max(counts.items(), key=lambda kv: (kv[1][0], kv[0]))[1][1]
+
+    def weighted(self, weights: dict[str, float]) -> object:
+        """Value with the highest total source weight (default weight 1)."""
+        totals: dict[str, tuple[float, object]] = {}
+        for s, v in self.claims:
+            if v is None:
+                continue
+            key = repr(v)
+            w, _ = totals.get(key, (0.0, v))
+            totals[key] = (w + weights.get(s, 1.0), v)
+        if not totals:
+            return None
+        return max(totals.items(), key=lambda kv: (kv[1][0], kv[0]))[1][1]
+
+    def first(self) -> object:
+        for _s, v in self.claims:
+            if v is not None:
+                return v
+        return None
+
+    def mean(self) -> float | None:
+        nums = [
+            float(v) for _s, v in self.claims
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        if not nums:
+            return None
+        return sum(nums) / len(nums)
+
+    def spread(self) -> float | None:
+        """Max - min over numeric claims (a simple conflict magnitude)."""
+        nums = [
+            float(v) for _s, v in self.claims
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        if len(nums) < 2:
+            return None
+        return max(nums) - min(nums)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s}={v!r}" for s, v in self.claims)
+        return f"Fused({inner})"

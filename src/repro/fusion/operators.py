@@ -1,0 +1,174 @@
+"""Fusion operators: align conflicting sources into non-1NF relations.
+
+Section 5.3: "A data fusion operator can align the differing values into a
+mashup that the buyer can explore manually.  A specific fusion operator may
+select one value based on majority voting, for example, while other fusion
+operators will implement other strategies."
+
+:func:`fuse` aligns several relations on a key and produces one
+:class:`~repro.fusion.cell.FusedValue` cell per requested signal;
+:func:`resolve` then collapses those cells with a chosen strategy (or keeps
+them raw for buyers who want every signal).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import FusionError
+from ..relation import Column, Relation, Schema, times
+from .cell import FusedValue
+
+#: resolution strategies accepted by :func:`resolve`
+STRATEGIES = ("majority", "first", "mean", "weighted", "keep")
+
+
+def fuse(
+    relations: Sequence[Relation],
+    key: str,
+    signals: Mapping[str, Sequence[tuple[str, str]]],
+) -> Relation:
+    """Align ``relations`` on ``key`` and bundle each signal's claims.
+
+    ``signals`` maps each output column to the (dataset, column) pairs that
+    claim it.  The output has one row per key value observed in *any* input
+    (full outer alignment); each signal cell is a :class:`FusedValue` over
+    the sources that cover that key.  Row provenance is the product of the
+    contributing rows — every source that contributed a claim is jointly
+    responsible for the fused row.
+    """
+    if not relations:
+        raise FusionError("fuse needs at least one input relation")
+    by_name = {r.name: r for r in relations}
+    for out_col, pairs in signals.items():
+        for ds, col in pairs:
+            if ds not in by_name:
+                raise FusionError(f"signal {out_col!r}: unknown dataset {ds!r}")
+            if col not in by_name[ds].schema:
+                raise FusionError(
+                    f"signal {out_col!r}: dataset {ds!r} has no column {col!r}"
+                )
+    for r in relations:
+        if key not in r.schema:
+            raise FusionError(f"dataset {r.name!r} has no key column {key!r}")
+
+    # index each relation by key (first row per key wins within a source)
+    indexed: dict[str, dict[object, int]] = {}
+    for r in relations:
+        pos = r.schema.position(key)
+        idx: dict[object, int] = {}
+        for i, row in enumerate(r.rows):
+            if row[pos] is not None and row[pos] not in idx:
+                idx[row[pos]] = i
+        indexed[r.name] = idx
+
+    all_keys: list[object] = []
+    seen: set = set()
+    for r in relations:
+        for k in indexed[r.name]:
+            if k not in seen:
+                seen.add(k)
+                all_keys.append(k)
+
+    out_cols = [Column(key, "any", "entity")] + [
+        Column(name, "any") for name in signals
+    ]
+    rows, provs = [], []
+    for k in all_keys:
+        row: list = [k]
+        contributing: list = []
+        for out_col, pairs in signals.items():
+            claims = []
+            for ds, col in pairs:
+                rel = by_name[ds]
+                i = indexed[ds].get(k)
+                if i is None:
+                    continue
+                value = rel.rows[i][rel.schema.position(col)]
+                claims.append((ds, value))
+                contributing.append(rel.provenance[i])
+            row.append(FusedValue.of(claims) if claims else None)
+        rows.append(tuple(row))
+        # dedupe contributing provenance expressions while keeping order
+        unique = list(dict.fromkeys(contributing))
+        provs.append(times(*unique))
+    return Relation(
+        "fused", Schema(out_cols), rows, provenance=provs, validate=False
+    )
+
+
+def auto_signals(
+    relations: Sequence[Relation], key: str
+) -> dict[str, list[tuple[str, str]]]:
+    """Group identically named non-key columns across relations."""
+    signals: dict[str, list[tuple[str, str]]] = {}
+    for r in relations:
+        for col in r.columns:
+            if col == key:
+                continue
+            signals.setdefault(col, []).append((r.name, col))
+    return signals
+
+
+def resolve(
+    fused: Relation,
+    strategy: str = "majority",
+    weights: Mapping[str, float] | None = None,
+) -> Relation:
+    """Collapse FusedValue cells into scalars with the chosen strategy."""
+    if strategy not in STRATEGIES:
+        raise FusionError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if strategy == "keep":
+        return fused
+    if strategy == "weighted" and weights is None:
+        raise FusionError("strategy 'weighted' requires source weights")
+
+    def collapse(value):
+        if not isinstance(value, FusedValue):
+            return value
+        if strategy == "majority":
+            return value.majority()
+        if strategy == "first":
+            return value.first()
+        if strategy == "mean":
+            return value.mean()
+        return value.weighted(dict(weights))  # weighted
+
+    rows = [tuple(collapse(v) for v in row) for row in fused.rows]
+    return Relation(
+        fused.name + f"_{strategy}",
+        Schema([Column(c.name, "any", c.semantic) for c in fused.schema.columns]),
+        rows,
+        provenance=fused.provenance,
+        validate=False,
+    )
+
+
+def conflict_report(fused: Relation) -> Relation:
+    """Per-signal conflict statistics (how much do sources disagree?)."""
+    rows = []
+    for col in fused.columns:
+        cells = [
+            v for v in fused.column(col) if isinstance(v, FusedValue)
+        ]
+        if not cells:
+            continue
+        conflicting = sum(1 for c in cells if c.is_conflicting)
+        spreads = [s for c in cells if (s := c.spread()) is not None]
+        rows.append(
+            (
+                col,
+                len(cells),
+                conflicting,
+                round(conflicting / len(cells), 6),
+                round(sum(spreads) / len(spreads), 6) if spreads else None,
+            )
+        )
+    return Relation(
+        "conflicts",
+        [("signal", "str"), ("cells", "int"), ("conflicting", "int"),
+         ("conflict_rate", "float"), ("mean_spread", "float")],
+        rows,
+    )

@@ -1,0 +1,139 @@
+"""Truth discovery over conflicting sources.
+
+Section 8.3 connects fusion to truth discovery: "the process of identifying
+the real value for a specific variable".  This module implements the classic
+iterative weighted-voting scheme (TruthFinder-style fixed point): source
+trustworthiness and claim confidence are estimated jointly —
+
+* a claim's confidence is the normalized sum of the weights of the sources
+  asserting it;
+* a source's weight is the mean confidence of the claims it asserts.
+
+The fixed point rewards sources that agree with the (weighted) consensus,
+which beats unweighted majority vote whenever source reliability is skewed
+(benchmark E11 measures exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import FusionError
+from ..relation import Relation
+from .cell import FusedValue
+
+
+@dataclass
+class TruthDiscoveryResult:
+    """Estimated truths plus per-source reliability."""
+
+    truths: dict[object, object]
+    source_weights: dict[str, float]
+    iterations: int
+
+    def accuracy_against(self, truth: Mapping[object, object]) -> float:
+        """Fraction of entities resolved to the known ground truth."""
+        if not self.truths:
+            return 0.0
+        right = sum(
+            1 for k, v in self.truths.items() if truth.get(k) == v
+        )
+        return right / len(self.truths)
+
+
+def discover_truth(
+    sources: Sequence[Relation],
+    key: str = "entity_id",
+    claim: str = "claim",
+    max_iterations: int = 25,
+    prior_weight: float = 0.8,
+    tolerance: float = 1e-6,
+) -> TruthDiscoveryResult:
+    """Run iterative truth discovery over (key, claim) source relations."""
+    if not sources:
+        raise FusionError("truth discovery needs at least one source")
+    if max_iterations < 1:
+        raise FusionError("max_iterations must be >= 1")
+    claims: dict[object, list[tuple[str, object]]] = {}
+    for src in sources:
+        kpos = src.schema.position(key)
+        cpos = src.schema.position(claim)
+        for row in src.rows:
+            if row[kpos] is None or row[cpos] is None:
+                continue
+            claims.setdefault(row[kpos], []).append((src.name, row[cpos]))
+    if not claims:
+        raise FusionError("sources contain no claims")
+
+    weights = {src.name: prior_weight for src in sources}
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # E-step: claim confidences per entity
+        confidence: dict[object, dict[str, float]] = {}
+        value_of: dict[tuple[object, str], object] = {}
+        for entity, entity_claims in claims.items():
+            totals: dict[str, float] = {}
+            denom = 0.0
+            for source, value in entity_claims:
+                v_key = repr(value)
+                value_of[(entity, v_key)] = value
+                totals[v_key] = totals.get(v_key, 0.0) + weights[source]
+                denom += weights[source]
+            confidence[entity] = {
+                v: w / denom for v, w in totals.items()
+            } if denom else {}
+        # M-step: source weights from the confidence of their claims
+        new_weights: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for entity, entity_claims in claims.items():
+            for source, value in entity_claims:
+                c = confidence[entity].get(repr(value), 0.0)
+                new_weights[source] = new_weights.get(source, 0.0) + c
+                counts[source] = counts.get(source, 0) + 1
+        for source in weights:
+            if counts.get(source):
+                new_weights[source] = new_weights[source] / counts[source]
+            else:
+                new_weights[source] = weights[source]
+        delta = max(
+            abs(new_weights[s] - weights[s]) for s in weights
+        )
+        weights = new_weights
+        if delta < tolerance:
+            break
+
+    truths = {}
+    for entity in claims:
+        best = max(
+            confidence[entity].items(), key=lambda kv: (kv[1], kv[0])
+        )
+        truths[entity] = value_of[(entity, best[0])]
+    return TruthDiscoveryResult(truths, weights, iterations)
+
+
+def resolve_fused_with_truth_discovery(
+    fused: Relation, key_column: str, signal: str, **kwargs
+) -> TruthDiscoveryResult:
+    """Run truth discovery directly on one FusedValue column."""
+    kpos = fused.schema.position(key_column)
+    spos = fused.schema.position(signal)
+    per_source: dict[str, list[tuple[object, object]]] = {}
+    for row in fused.rows:
+        cell = row[spos]
+        if not isinstance(cell, FusedValue):
+            continue
+        for source, value in cell.claims:
+            per_source.setdefault(source, []).append((row[kpos], value))
+    if not per_source:
+        raise FusionError(f"column {signal!r} has no fused cells")
+    sources = [
+        Relation(
+            name,
+            [(key_column, "any"), ("claim", "any")],
+            rows,
+            validate=False,
+        )
+        for name, rows in per_source.items()
+    ]
+    return discover_truth(sources, key=key_column, claim="claim", **kwargs)

@@ -1,0 +1,37 @@
+"""Integration: DoD engine, mapping-function synthesis, prep transforms."""
+
+from .dod import DoDEngine, MashupRequest, TransformHint
+from .plan import JoinStep, Mashup, MashupPlan, TransformStep, qualified
+from .synthesis import (
+    KNOWN_CONVERSIONS,
+    AffineMap,
+    DictionaryMap,
+    MappingFunction,
+    describe_affine,
+    fit_affine,
+    fit_dictionary,
+    synthesize_mapping,
+)
+from .transforms import downsample_mean, interpolate_to_grid, pivot
+
+__all__ = [
+    "DoDEngine",
+    "MashupRequest",
+    "TransformHint",
+    "Mashup",
+    "MashupPlan",
+    "JoinStep",
+    "TransformStep",
+    "qualified",
+    "AffineMap",
+    "DictionaryMap",
+    "MappingFunction",
+    "fit_affine",
+    "fit_dictionary",
+    "synthesize_mapping",
+    "describe_affine",
+    "KNOWN_CONVERSIONS",
+    "interpolate_to_grid",
+    "downsample_mean",
+    "pivot",
+]

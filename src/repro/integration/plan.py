@@ -1,0 +1,158 @@
+"""Mashup plans: inspectable, executable recipes for combining datasets.
+
+A mashup "is a combination of datasets using relational, non-relational, and
+fusion operations" (Section 1).  A :class:`MashupPlan` is the transparent
+record of that combination — Section 4.4 requires that "buyers may request
+transparent access to the mashup building process to understand the original
+datasets that contribute to the mashup", which is exactly ``plan.describe()``.
+
+Execution resolves dataset names through a caller-supplied resolver, renames
+every incoming column to a qualified ``dataset__column`` form (so arbitrary
+join trees never clash), applies joins and synthesized transforms, and
+finally projects/renames to the buyer's requested attribute names.
+Provenance flows through untouched, which is what lets the revenue-sharing
+engine split the sale price over contributing datasets afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import IntegrationError
+from .synthesis import MappingFunction
+from ..relation import Column, Relation
+
+
+def qualified(dataset: str, column: str) -> str:
+    return f"{dataset}__{column}"
+
+
+def _qualify(relation: Relation) -> Relation:
+    mapping = {n: qualified(relation.name, n) for n in relation.columns}
+    return relation.rename(mapping)
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """Join the running mashup with ``dataset`` on qualified columns."""
+
+    dataset: str
+    left_on: str  # qualified column already present in the running mashup
+    right_on: str  # qualified column of the incoming dataset
+    score: float = 1.0
+
+    def describe(self) -> str:
+        return (
+            f"join {self.dataset} on {self.left_on} = {self.right_on} "
+            f"(confidence {self.score:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class TransformStep:
+    """Derive a new column by applying a synthesized mapping function."""
+
+    source_column: str  # qualified
+    output_column: str  # final (requested) name
+    mapping: MappingFunction
+
+    def describe(self) -> str:
+        return (
+            f"derive {self.output_column} from {self.source_column} via "
+            f"{self.mapping.describe()}"
+        )
+
+
+@dataclass
+class MashupPlan:
+    """Base dataset + joins + transforms + final projection."""
+
+    base: str
+    joins: list[JoinStep] = field(default_factory=list)
+    transforms: list[TransformStep] = field(default_factory=list)
+    #: requested attribute name -> qualified column it comes from;
+    #: transformed attributes map to their own name (already final).
+    output: dict[str, str] = field(default_factory=dict)
+
+    def sources(self) -> list[str]:
+        """All datasets the plan reads, in join order."""
+        return [self.base] + [j.dataset for j in self.joins]
+
+    def describe(self) -> str:
+        lines = [f"base: {self.base}"]
+        lines += [step.describe() for step in self.joins]
+        lines += [step.describe() for step in self.transforms]
+        out = ", ".join(
+            f"{attr}<-{src}" for attr, src in sorted(self.output.items())
+        )
+        lines.append(f"project: {out}")
+        return "\n".join(lines)
+
+    def execute(self, resolver: Callable[[str], Relation],
+                name: str = "mashup") -> Relation:
+        """Run the plan.  ``resolver`` maps dataset name -> Relation."""
+        rel = _qualify(resolver(self.base))
+        for step in self.joins:
+            right = _qualify(resolver(step.dataset))
+            if step.left_on not in rel.schema:
+                raise IntegrationError(
+                    f"join column {step.left_on!r} missing from running "
+                    f"mashup (plan is inconsistent)"
+                )
+            if step.right_on not in right.schema:
+                raise IntegrationError(
+                    f"join column {step.right_on!r} missing from dataset "
+                    f"{step.dataset!r}"
+                )
+            rel = rel.join(
+                right, on=[(step.left_on, step.right_on)], keep_right=True
+            )
+        for step in self.transforms:
+            if step.source_column not in rel.schema:
+                raise IntegrationError(
+                    f"transform source {step.source_column!r} missing"
+                )
+            src = step.source_column
+            mapping = step.mapping
+            rel = rel.extend(
+                Column(step.output_column, "any"),
+                lambda row, _src=src, _m=mapping: (
+                    None if row[_src] is None else _m.apply(row[_src])
+                ),
+            )
+        # final projection: rename qualified columns to requested names
+        missing = [
+            src for src in self.output.values() if src not in rel.schema
+        ]
+        if missing:
+            raise IntegrationError(
+                f"plan output references missing columns: {missing}"
+            )
+        projected = rel.project(list(self.output.values()))
+        rename = {
+            src: attr
+            for attr, src in self.output.items()
+            if src != attr
+        }
+        return projected.rename(rename).renamed(name)
+
+
+@dataclass
+class Mashup:
+    """A materialized mashup: the plan, its result, and match metadata."""
+
+    plan: MashupPlan
+    relation: Relation
+    #: requested attribute -> (dataset, column, score) it was matched to
+    matched: dict[str, tuple[str, str, float]]
+    #: requested attributes nobody could supply (negotiation targets)
+    missing: tuple[str, ...] = ()
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.matched) + len(self.missing)
+        return len(self.matched) / total if total else 0.0
+
+    def sources(self) -> list[str]:
+        return self.plan.sources()

@@ -1,0 +1,159 @@
+"""Program synthesis of attribute mapping functions.
+
+The paper's introductory example: seller 2 shares ``f(d)`` where ``f`` may be
+"a transformation from Celsius to Fahrenheit" (invertible) or "a mapping of
+employees to IDs" (invertible only via a mapping table).  The arbiter "needs
+to find an inverse mapping function f' that would transform f(d) into d if
+such a function exists, or otherwise find a mapping table" (Section 1).
+
+Given aligned example pairs (x, y) the synthesizer searches a small grammar:
+
+* affine maps ``y = a*x + b`` (covers all unit conversions), invertible
+  whenever ``a != 0``;
+* dictionary maps (explicit lookup tables), invertible iff bijective.
+
+Synthesized maps are verified against *all* examples, not just fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import SynthesisError
+
+#: named affine conversions recognized by :func:`describe_affine`
+KNOWN_CONVERSIONS = {
+    (1.8, 32.0): "celsius_to_fahrenheit",
+    (0.5555555555555556, -17.77777777777778): "fahrenheit_to_celsius",
+    (1000.0, 0.0): "kilo_to_base",
+    (0.001, 0.0): "base_to_kilo",
+    (1.609344, 0.0): "miles_to_km",
+    (2.20462, 0.0): "kg_to_lb",
+}
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """y = a*x + b over numeric values."""
+
+    a: float
+    b: float
+
+    def apply(self, x: float) -> float:
+        return self.a * x + self.b
+
+    @property
+    def is_invertible(self) -> bool:
+        return self.a != 0.0
+
+    def inverse(self) -> "AffineMap":
+        if not self.is_invertible:
+            raise SynthesisError("affine map with a=0 is not invertible")
+        return AffineMap(1.0 / self.a, -self.b / self.a)
+
+    def describe(self) -> str:
+        named = describe_affine(self.a, self.b)
+        base = f"y = {self.a:.6g}*x + {self.b:.6g}"
+        return f"{base} ({named})" if named else base
+
+
+@dataclass(frozen=True)
+class DictionaryMap:
+    """Explicit lookup table; the paper's 'mapping table' fallback."""
+
+    mapping: dict = field(hash=False)
+
+    def apply(self, x):
+        try:
+            return self.mapping[x]
+        except KeyError:
+            raise SynthesisError(f"value {x!r} not in mapping table") from None
+
+    @property
+    def is_invertible(self) -> bool:
+        values = list(self.mapping.values())
+        return len(set(map(repr, values))) == len(values)
+
+    def inverse(self) -> "DictionaryMap":
+        if not self.is_invertible:
+            raise SynthesisError("mapping table is not bijective")
+        return DictionaryMap({v: k for k, v in self.mapping.items()})
+
+    def describe(self) -> str:
+        return f"lookup table ({len(self.mapping)} entries)"
+
+
+MappingFunction = AffineMap | DictionaryMap
+
+
+def fit_affine(
+    pairs: Sequence[tuple[float, float]], tolerance: float = 1e-6
+) -> AffineMap:
+    """Fit y = a*x + b exactly (within tolerance) or raise SynthesisError."""
+    pts = [(float(x), float(y)) for x, y in pairs if x is not None and y is not None]
+    if len(pts) < 2:
+        raise SynthesisError("need at least 2 example pairs to fit an affine map")
+    # pick two x-distinct anchors
+    anchor = pts[0]
+    other = next((p for p in pts[1:] if p[0] != anchor[0]), None)
+    if other is None:
+        raise SynthesisError("all x values identical; affine map underdetermined")
+    a = (other[1] - anchor[1]) / (other[0] - anchor[0])
+    b = anchor[1] - a * anchor[0]
+    fitted = AffineMap(a, b)
+    scale = max(1.0, max(abs(y) for _x, y in pts))
+    for x, y in pts:
+        if abs(fitted.apply(x) - y) > tolerance * scale:
+            raise SynthesisError(
+                f"no affine map consistent with examples "
+                f"(residual at x={x:.6g})"
+            )
+    return fitted
+
+
+def fit_dictionary(pairs: Sequence[tuple]) -> DictionaryMap:
+    """Build a lookup table; raise if the examples are self-contradictory."""
+    mapping: dict = {}
+    for x, y in pairs:
+        if x is None or y is None:
+            continue
+        if x in mapping and mapping[x] != y:
+            raise SynthesisError(
+                f"contradictory examples: {x!r} maps to both "
+                f"{mapping[x]!r} and {y!r}"
+            )
+        mapping[x] = y
+    if not mapping:
+        raise SynthesisError("no non-null example pairs to build a table from")
+    return DictionaryMap(mapping)
+
+
+def synthesize_mapping(
+    pairs: Sequence[tuple], tolerance: float = 1e-6
+) -> MappingFunction:
+    """Search the grammar: affine first (generalizes), table as fallback."""
+    clean = [(x, y) for x, y in pairs if x is not None and y is not None]
+    if not clean:
+        raise SynthesisError("no example pairs given")
+    numeric = all(
+        isinstance(x, (int, float)) and isinstance(y, (int, float))
+        and not isinstance(x, bool) and not isinstance(y, bool)
+        for x, y in clean
+    )
+    if numeric:
+        try:
+            return fit_affine(clean, tolerance=tolerance)
+        except SynthesisError:
+            pass
+    return fit_dictionary(clean)
+
+
+def describe_affine(a: float, b: float, tolerance: float = 1e-4) -> str | None:
+    """Name a known unit conversion matching (a, b), if any."""
+    for (ka, kb), name in KNOWN_CONVERSIONS.items():
+        if abs(a - ka) <= tolerance * max(1.0, abs(ka)) and abs(b - kb) <= max(
+            tolerance, tolerance * abs(kb)
+        ):
+            return name
+    return None

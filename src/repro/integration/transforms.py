@@ -1,0 +1,109 @@
+"""Data preparation transforms used while assembling mashups.
+
+Section 5 lists "other preparation tasks such as value interpolation to join
+on different time granularities", and Section 3.2.2.1 mentions "pivoting,
+aggregates" as transformation needs expressible in WTP functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IntegrationError
+from ..relation import Column, Relation, Schema
+
+
+def interpolate_to_grid(
+    relation: Relation,
+    time_column: str,
+    value_column: str,
+    step: int,
+) -> Relation:
+    """Resample a (time, value) relation onto a regular grid of ``step``.
+
+    Linear interpolation between observed points; the output covers the
+    observed time span.  This is what lets a 5-minute sensor feed join with
+    an hourly city dataset.
+    """
+    if step <= 0:
+        raise IntegrationError("interpolation step must be positive")
+    t_pos = relation.schema.position(time_column)
+    v_pos = relation.schema.position(value_column)
+    points = sorted(
+        (row[t_pos], row[v_pos])
+        for row in relation.rows
+        if row[t_pos] is not None and row[v_pos] is not None
+    )
+    if len(points) < 2:
+        raise IntegrationError(
+            "need at least 2 observations to interpolate"
+        )
+    times = np.array([p[0] for p in points], dtype=float)
+    values = np.array([p[1] for p in points], dtype=float)
+    if len(np.unique(times)) != len(times):
+        raise IntegrationError("duplicate timestamps; aggregate first")
+    start = int(np.ceil(times[0] / step) * step)
+    grid = np.arange(start, times[-1] + 1, step)
+    interpolated = np.interp(grid, times, values)
+    return Relation(
+        relation.name + "_interp",
+        Schema([
+            Column(time_column, "int", relation.schema[time_column].semantic),
+            Column(value_column, "float"),
+        ]),
+        [(int(t), float(v)) for t, v in zip(grid, interpolated)],
+    )
+
+
+def downsample_mean(
+    relation: Relation,
+    time_column: str,
+    value_column: str,
+    step: int,
+) -> Relation:
+    """Aggregate observations into buckets of ``step`` with mean values."""
+    if step <= 0:
+        raise IntegrationError("downsampling step must be positive")
+    bucketed = relation.extend(
+        Column("_bucket", "int"),
+        lambda row: (row[time_column] // step) * step,
+    )
+    out = bucketed.aggregate(["_bucket"], {value_column + "_mean": (value_column, "mean")})
+    return out.rename({"_bucket": time_column,
+                       value_column + "_mean": value_column}).renamed(
+        relation.name + "_down"
+    )
+
+
+def pivot(
+    relation: Relation,
+    index_column: str,
+    pivot_column: str,
+    value_column: str,
+) -> Relation:
+    """Spread ``pivot_column``'s values into columns (first value wins)."""
+    idx_pos = relation.schema.position(index_column)
+    piv_pos = relation.schema.position(pivot_column)
+    val_pos = relation.schema.position(value_column)
+    categories = sorted(
+        {str(row[piv_pos]) for row in relation.rows if row[piv_pos] is not None}
+    )
+    if not categories:
+        raise IntegrationError("pivot column has no non-null values")
+    table: dict[object, dict[str, object]] = {}
+    order: list[object] = []
+    for row in relation.rows:
+        key = row[idx_pos]
+        if key not in table:
+            table[key] = {}
+            order.append(key)
+        cat = str(row[piv_pos])
+        table[key].setdefault(cat, row[val_pos])
+    cols = [relation.schema[index_column]] + [
+        Column(c, "any") for c in categories
+    ]
+    rows = [
+        tuple([key] + [table[key].get(c) for c in categories])
+        for key in order
+    ]
+    return Relation(relation.name + "_pivot", Schema(cols), rows)

@@ -1,0 +1,97 @@
+"""The Data Market Management System (DMMS): arbiter, seller, buyer
+platforms, market designs, transactions, licensing, accountability."""
+
+from .accountability import AuditLog, AuditRecord, LineageStore, SaleRecord
+from .arbiter import (
+    ARBITER_ACCOUNT,
+    Arbiter,
+    Delivery,
+    ExPostDelivery,
+    Rejection,
+    RoundResult,
+)
+from .buyer import BuyerPlatform, DeliveredMashup
+from .design import (
+    MarketDesign,
+    barter_market,
+    exclusive_auction_market,
+    external_market,
+    internal_market,
+)
+from .disputes import (
+    Dispute,
+    DisputeDesk,
+    DisputeError,
+    DisputeKind,
+    DisputeStatus,
+)
+from .insurance import InsuranceDesk, InsuranceError, InsurancePolicy
+from .licensing import (
+    OPEN_CONTEXT,
+    ContextualIntegrityPolicy,
+    License,
+    LicenseKind,
+    LicenseRegistry,
+)
+from .negotiation import InfoRequest, NegotiationManager, RequestStatus
+from .revenue import (
+    RevenueAllocationEngine,
+    RevenueSplit,
+    provenance_shares,
+    row_allocation,
+    shapley_shares,
+)
+from .seller import SellerOffer, SellerPlatform
+from .trusts import DataTrust, MemberContribution, TrustError
+from .services import Recommendation, RecommendationService
+from .transaction import Ledger, Transfer
+
+__all__ = [
+    "Arbiter",
+    "RoundResult",
+    "Delivery",
+    "Rejection",
+    "ExPostDelivery",
+    "ARBITER_ACCOUNT",
+    "MarketDesign",
+    "external_market",
+    "internal_market",
+    "barter_market",
+    "exclusive_auction_market",
+    "SellerPlatform",
+    "SellerOffer",
+    "BuyerPlatform",
+    "DeliveredMashup",
+    "Ledger",
+    "Transfer",
+    "AuditLog",
+    "AuditRecord",
+    "LineageStore",
+    "SaleRecord",
+    "License",
+    "LicenseKind",
+    "LicenseRegistry",
+    "ContextualIntegrityPolicy",
+    "OPEN_CONTEXT",
+    "NegotiationManager",
+    "InfoRequest",
+    "RequestStatus",
+    "RevenueAllocationEngine",
+    "RevenueSplit",
+    "row_allocation",
+    "provenance_shares",
+    "shapley_shares",
+    "RecommendationService",
+    "Recommendation",
+    "InsuranceDesk",
+    "InsurancePolicy",
+    "InsuranceError",
+    "DisputeDesk",
+    "Dispute",
+    "DisputeKind",
+    "DisputeStatus",
+    "DisputeError",
+    "DataTrust",
+    "MemberContribution",
+    "TrustError",
+]

@@ -1,0 +1,132 @@
+"""Accountability: tamper-evident audit log + seller-facing lineage.
+
+Section 4.2: "The SMP must allow sellers to track how their datasets are
+being sold in the market, e.g., as part of what mashups... the SMP maintains
+fine-grained lineage information that is made available on demand."
+
+Section 4.4's trust discussion motivates the hash chain: the arbiter commits
+every market event to an append-only log whose records chain SHA-256 hashes,
+so any later tampering is detectable by :meth:`AuditLog.verify` — the
+laptop-scale stand-in for the blockchain/decentralization techniques the
+paper cites (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..errors import AuditError
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    index: int
+    kind: str
+    payload: dict
+    prev_hash: str
+    hash: str
+
+
+def _hash_record(index: int, kind: str, payload: dict, prev_hash: str) -> str:
+    body = json.dumps(
+        {"index": index, "kind": kind, "payload": payload, "prev": prev_hash},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+class AuditLog:
+    """Append-only, hash-chained record of market events."""
+
+    GENESIS = "0" * 64
+
+    def __init__(self):
+        self._records: list[AuditRecord] = []
+
+    def append(self, kind: str, payload: dict) -> AuditRecord:
+        prev = self._records[-1].hash if self._records else self.GENESIS
+        index = len(self._records)
+        record = AuditRecord(
+            index=index,
+            kind=kind,
+            payload=dict(payload),
+            prev_hash=prev,
+            hash=_hash_record(index, kind, payload, prev),
+        )
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, kind: str | None = None) -> list[AuditRecord]:
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def verify(self) -> bool:
+        """Recompute the whole chain; raise AuditError on any mismatch."""
+        prev = self.GENESIS
+        for i, record in enumerate(self._records):
+            if record.index != i:
+                raise AuditError(f"record {i} has wrong index {record.index}")
+            if record.prev_hash != prev:
+                raise AuditError(f"record {i} breaks the hash chain")
+            expected = _hash_record(i, record.kind, record.payload, prev)
+            if record.hash != expected:
+                raise AuditError(f"record {i} content was tampered with")
+            prev = record.hash
+        return True
+
+
+@dataclass(frozen=True)
+class SaleRecord:
+    """One dataset's participation in one sold mashup."""
+
+    transaction_id: int
+    dataset: str
+    buyer: str
+    mashup_sources: tuple[str, ...]
+    dataset_share: float
+    total_price: float
+
+
+class LineageStore:
+    """Per-dataset sales lineage, queryable by sellers on demand."""
+
+    def __init__(self):
+        self._by_dataset: dict[str, list[SaleRecord]] = {}
+
+    def record_sale(
+        self,
+        transaction_id: int,
+        buyer: str,
+        total_price: float,
+        shares: dict[str, float],
+        mashup_sources: list[str],
+    ) -> None:
+        for dataset, share in shares.items():
+            record = SaleRecord(
+                transaction_id=transaction_id,
+                dataset=dataset,
+                buyer=buyer,
+                mashup_sources=tuple(mashup_sources),
+                dataset_share=share,
+                total_price=total_price,
+            )
+            self._by_dataset.setdefault(dataset, []).append(record)
+
+    def sales_of(self, dataset: str) -> list[SaleRecord]:
+        return list(self._by_dataset.get(dataset, []))
+
+    def revenue_of(self, dataset: str) -> float:
+        return sum(r.dataset_share for r in self.sales_of(dataset))
+
+    def mashups_containing(self, dataset: str) -> list[tuple[str, ...]]:
+        return [r.mashup_sources for r in self.sales_of(dataset)]
+
+    def datasets(self) -> list[str]:
+        return sorted(self._by_dataset)

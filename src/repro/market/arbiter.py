@@ -1,0 +1,550 @@
+"""The Arbiter Management Platform — Fig. 2's pipeline, end to end.
+
+One call to :meth:`Arbiter.run_round` executes the architecture left to
+right:
+
+1. **Mashup Builder** — every queued WTP becomes a
+   :class:`~repro.integration.dod.MashupRequest`; candidate mashups come
+   back ranked ([m1..mn] in the figure);
+2. **WTP Evaluator** — each candidate is filtered by the buyer's intrinsic
+   constraints, then the task package runs on it to measure the degree of
+   satisfaction and the resulting wtp price ([mi: wtpi]);
+3. **Pricing Engine** — buyers bidding on the same good (identical mashup
+   content) are cleared by the market design's mechanism, which fixes
+   winners and payments;
+4. **Transaction Support** — licensing and reserve-price checks, then the
+   ledger moves the incentive and the buyer receives the mashup;
+5. **Revenue Allocation Engine** — the payment is split between arbiter
+   commission and contributing datasets (provenance / Shapley / uniform per
+   the design), and the lineage + audit log record everything.
+
+Ex-post buyers (Section 3.2.2.2) skip steps 2–3: they receive the best
+*coverage* mashup immediately and settle later through
+:meth:`receive_expost_report` / :meth:`settle_expost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import LicensingError, MarketError
+from ..integration import Mashup, MashupRequest
+from ..mashup import MashupBuilder
+from ..mechanisms import Bid, ExPostReport
+from ..wtp import WTPFunction
+from .accountability import AuditLog, LineageStore
+from .buyer import DeliveredMashup
+from .design import MarketDesign
+from .licensing import ContextualIntegrityPolicy, License, LicenseRegistry
+from .negotiation import NegotiationManager
+from .revenue import RevenueAllocationEngine, RevenueSplit
+from .services import RecommendationService
+from .transaction import Ledger
+
+ARBITER_ACCOUNT = "arbiter"
+
+
+@dataclass
+class Delivery:
+    """A completed upfront transaction."""
+
+    transaction_id: int
+    buyer: str
+    mashup: Mashup
+    satisfaction: float
+    bid: float
+    price_paid: float
+    split: RevenueSplit
+
+
+@dataclass
+class Rejection:
+    buyer: str
+    reason: str
+
+
+@dataclass
+class ExPostDelivery:
+    """Data handed out before payment; awaiting the buyer's value report."""
+
+    transaction_id: int
+    buyer: str
+    mashup: Mashup
+    reported_value: float | None = None
+    settled: bool = False
+
+
+@dataclass
+class RoundResult:
+    deliveries: list[Delivery] = field(default_factory=list)
+    rejections: list[Rejection] = field(default_factory=list)
+    expost_deliveries: list[ExPostDelivery] = field(default_factory=list)
+
+    @property
+    def revenue(self) -> float:
+        return sum(d.price_paid for d in self.deliveries)
+
+    @property
+    def transactions(self) -> int:
+        return len(self.deliveries)
+
+
+class Arbiter:
+    """The arbiter platform: one instance per deployed market design."""
+
+    def __init__(self, design: MarketDesign, builder: MashupBuilder | None = None):
+        design.validate()
+        self.design = design
+        self.builder = builder or MashupBuilder()
+        self.ledger = Ledger(unit=design.incentive)
+        self.ledger.ensure_account(ARBITER_ACCOUNT)
+        self.audit = AuditLog()
+        self.lineage = LineageStore()
+        self.licenses = LicenseRegistry()
+        self.negotiation = NegotiationManager()
+        self.recommendations = RecommendationService()
+        self.revenue_engine = RevenueAllocationEngine(
+            design.revenue_sharing, design.arbiter_commission
+        )
+        self._pending_wtps: list[WTPFunction] = []
+        self._reserves: dict[str, float] = {}
+        self._expost: dict[int, ExPostDelivery] = {}
+        self._tx_counter = 0
+        self._buyer_platforms: dict[str, object] = {}
+        self.audit.append("market_created", {"design": design.summary()})
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_participant(self, name: str, funding: float = 0.0) -> None:
+        """Open a ledger account (+ grant + optional funding)."""
+        if name in self.ledger:
+            raise MarketError(f"participant {name!r} already registered")
+        self.ledger.open_account(name)
+        grant = self.design.participation_grant
+        if grant > 0:
+            self.ledger.mint(name, grant, memo="participation grant")
+        if funding > 0:
+            self.ledger.mint(name, funding, memo="external funding")
+        self.audit.append(
+            "participant_registered", {"name": name, "funding": funding}
+        )
+
+    def attach_buyer_platform(self, platform) -> None:
+        """Deliveries will be pushed to the platform's ``receive``."""
+        self._buyer_platforms[platform.buyer_id] = platform
+
+    def accept_dataset(
+        self,
+        relation,
+        seller: str,
+        reserve_price: float = 0.0,
+        license: License | None = None,
+        policy: ContextualIntegrityPolicy | None = None,
+    ) -> None:
+        """Fig. 2's seller→arbiter dataset flow."""
+        if seller not in self.ledger:
+            self.register_participant(seller)
+        if reserve_price < 0:
+            raise MarketError("reserve price must be non-negative")
+        self.builder.add_dataset(relation, owner=seller)
+        self.licenses.register(
+            relation.name, owner=seller, license=license, policy=policy
+        )
+        self._reserves[relation.name] = reserve_price
+        self.audit.append(
+            "dataset_accepted",
+            {
+                "dataset": relation.name,
+                "seller": seller,
+                "rows": len(relation),
+                "reserve": reserve_price,
+            },
+        )
+
+    def submit_wtp(self, wtp: WTPFunction) -> None:
+        if wtp.buyer not in self.ledger:
+            raise MarketError(
+                f"buyer {wtp.buyer!r} is not registered; "
+                "call register_participant first"
+            )
+        if wtp.elicitation == "ex_post" and self.design.elicitation == "upfront":
+            raise MarketError(
+                "this market design does not support ex-post elicitation"
+            )
+        if wtp.elicitation == "upfront" and self.design.elicitation == "ex_post":
+            raise MarketError(
+                "this market design only supports ex-post elicitation"
+            )
+        self._pending_wtps.append(wtp)
+        self.audit.append(
+            "wtp_submitted",
+            {"buyer": wtp.buyer, "attributes": wtp.attributes,
+             "elicitation": wtp.elicitation},
+        )
+
+    # ------------------------------------------------------------------
+    # the round
+    # ------------------------------------------------------------------
+    def run_round(self, context: str = "*") -> RoundResult:
+        result = RoundResult()
+        wtps, self._pending_wtps = self._pending_wtps, []
+
+        offers: list[tuple[WTPFunction, Mashup, float, float]] = []
+        for wtp in wtps:
+            if wtp.elicitation == "ex_post":
+                self._deliver_expost(wtp, result)
+                continue
+            offer = self._best_offer(wtp, result)
+            if offer is not None:
+                offers.append(offer)
+
+        # Pricing Engine: group offers by identical good, clear per group
+        groups: dict[str, list[tuple[WTPFunction, Mashup, float, float]]] = {}
+        for offer in offers:
+            key = offer[1].relation.content_hash()
+            groups.setdefault(key, []).append(offer)
+
+        for group in groups.values():
+            self._clear_group(group, result, context)
+
+        # Negotiation Rounds: publish unmet demand to sellers
+        gaps = self.builder.gap_report()
+        if gaps.demand:
+            self.negotiation.publish_gaps(gaps.demand)
+        return result
+
+    # -- step 1+2: mashup builder + WTP evaluator ------------------------------
+    def _best_offer(self, wtp: WTPFunction, result: RoundResult):
+        request = MashupRequest(
+            attributes=wtp.attributes, key=wtp.key, examples=wtp.examples
+        )
+        mashups = self.builder.build(request)
+        if not mashups:
+            result.rejections.append(
+                Rejection(wtp.buyer, "no mashup could be assembled")
+            )
+            return None
+        best = None
+        for mashup in mashups:
+            if not wtp.intrinsic.satisfied_by(
+                mashup.relation, mashup.sources(), self.builder.metadata
+            ):
+                continue
+            # The WTP evaluator runs *buyer-supplied code* on arbiter
+            # hardware (Section 3.2.2.1): any crash must be contained and
+            # recorded, never propagated into the market round.
+            try:
+                evaluated = wtp.try_evaluate(mashup.relation)
+            except Exception as exc:  # noqa: BLE001 - sandbox boundary
+                self.audit.append(
+                    "wtp_evaluation_crashed",
+                    {"buyer": wtp.buyer, "error": repr(exc)},
+                )
+                evaluated = None
+            if evaluated is None:
+                continue
+            satisfaction, price = evaluated
+            if not _sane_evaluation(satisfaction, price):
+                self.audit.append(
+                    "wtp_evaluation_rejected",
+                    {"buyer": wtp.buyer, "satisfaction": repr(satisfaction),
+                     "price": repr(price)},
+                )
+                continue
+            if best is None or price > best[3] or (
+                price == best[3] and satisfaction > best[2]
+            ):
+                best = (wtp, mashup, satisfaction, price)
+        if best is None:
+            result.rejections.append(
+                Rejection(wtp.buyer, "no candidate mashup passed evaluation")
+            )
+            return None
+        if best[3] <= 0:
+            result.rejections.append(
+                Rejection(
+                    wtp.buyer,
+                    f"satisfaction {best[2]:.3f} below the buyer's paying "
+                    f"threshold",
+                )
+            )
+            return None
+        return best
+
+    # -- step 3..5: pricing, transaction, revenue allocation ---------------------
+    def _clear_group(self, group, result: RoundResult, context: str) -> None:
+        bids = [Bid(wtp.buyer, price) for wtp, _m, _s, price in group]
+        outcome = self.design.mechanism.run(bids)
+        by_buyer = {wtp.buyer: (wtp, m, s, p) for wtp, m, s, p in group}
+        for bid in bids:
+            if not outcome.won(bid.bidder):
+                result.rejections.append(
+                    Rejection(bid.bidder, "outbid in the clearing mechanism")
+                )
+        for buyer in outcome.winners:
+            wtp, mashup, satisfaction, bid_price = by_buyer[buyer]
+            payment = outcome.payment_of(buyer)
+            self._execute_transaction(
+                wtp, mashup, satisfaction, bid_price, payment, result, context
+            )
+
+    def _execute_transaction(
+        self,
+        wtp: WTPFunction,
+        mashup: Mashup,
+        satisfaction: float,
+        bid_price: float,
+        payment: float,
+        result: RoundResult,
+        context: str,
+    ) -> None:
+        sources = mashup.plan.sources()
+        # licensing + contextual integrity
+        try:
+            for dataset in sources:
+                self.licenses.check_sale(dataset, wtp.buyer, context)
+        except LicensingError as exc:
+            result.rejections.append(Rejection(wtp.buyer, str(exc)))
+            self.audit.append(
+                "sale_blocked", {"buyer": wtp.buyer, "reason": str(exc)}
+            )
+            return
+        # exclusivity tax (Section 4.4)
+        taxed = payment
+        for dataset in sources:
+            license = self.licenses.license_of(dataset)
+            taxed = license.price_with_tax(taxed) if taxed else taxed
+        split = self.revenue_engine.split(
+            mashup, taxed, wtp=wtp, resolver=self.builder.metadata.relation
+        )
+        # reserve prices: every dataset's share must clear its reserve
+        for dataset in sources:
+            reserve = self._reserves.get(dataset, 0.0)
+            if split.dataset_shares.get(dataset, 0.0) < reserve - 1e-9:
+                result.rejections.append(
+                    Rejection(
+                        wtp.buyer,
+                        f"dataset {dataset!r} reserve {reserve:.2f} not met "
+                        f"(share {split.dataset_shares.get(dataset, 0.0):.2f})",
+                    )
+                )
+                self.audit.append(
+                    "sale_blocked",
+                    {"buyer": wtp.buyer, "dataset": dataset,
+                     "reason": "reserve not met"},
+                )
+                return
+        # move the incentive
+        try:
+            if taxed > 0:
+                self.ledger.transfer(
+                    wtp.buyer, ARBITER_ACCOUNT, taxed, memo="purchase"
+                )
+        except MarketError as exc:
+            result.rejections.append(Rejection(wtp.buyer, str(exc)))
+            return
+        for dataset, share in split.dataset_shares.items():
+            if share > 0:
+                self.ledger.transfer(
+                    ARBITER_ACCOUNT,
+                    self.licenses.owner_of(dataset),
+                    share,
+                    memo=f"revenue share for {dataset}",
+                )
+        if self.design.seller_reward > 0 and sources:
+            per_dataset = self.design.seller_reward / len(sources)
+            for dataset in sources:
+                self.ledger.mint(
+                    self.licenses.owner_of(dataset),
+                    per_dataset,
+                    memo=f"seller reward for {dataset}",
+                )
+        # finalize
+        tx_id = self._next_tx()
+        for dataset in sources:
+            self.licenses.record_sale(dataset, wtp.buyer)
+        self.lineage.record_sale(
+            tx_id, wtp.buyer, taxed, split.dataset_shares, sources
+        )
+        self.recommendations.record_purchase(wtp.buyer, sources)
+        self.audit.append(
+            "transaction",
+            {
+                "tx": tx_id,
+                "buyer": wtp.buyer,
+                "sources": sources,
+                "satisfaction": round(satisfaction, 6),
+                "bid": round(bid_price, 6),
+                "paid": round(taxed, 6),
+            },
+        )
+        delivery = Delivery(
+            transaction_id=tx_id,
+            buyer=wtp.buyer,
+            mashup=mashup,
+            satisfaction=satisfaction,
+            bid=bid_price,
+            price_paid=taxed,
+            split=split,
+        )
+        result.deliveries.append(delivery)
+        platform = self._buyer_platforms.get(wtp.buyer)
+        if platform is not None:
+            platform.receive(
+                DeliveredMashup(
+                    transaction_id=tx_id,
+                    relation=mashup.relation,
+                    price_paid=taxed,
+                    plan_description=mashup.plan.describe(),
+                )
+            )
+
+    # -- ex-post flow --------------------------------------------------------------
+    def _deliver_expost(self, wtp: WTPFunction, result: RoundResult) -> None:
+        if self.design.expost is None:
+            result.rejections.append(
+                Rejection(wtp.buyer, "market has no ex-post mechanism")
+            )
+            return
+        request = MashupRequest(
+            attributes=wtp.attributes, key=wtp.key, examples=wtp.examples
+        )
+        mashups = self.builder.build(request)
+        if not mashups:
+            result.rejections.append(
+                Rejection(wtp.buyer, "no mashup could be assembled")
+            )
+            return
+        mashup = max(mashups, key=lambda m: m.coverage)
+        tx_id = self._next_tx()
+        delivery = ExPostDelivery(tx_id, wtp.buyer, mashup)
+        self._expost[tx_id] = delivery
+        result.expost_deliveries.append(delivery)
+        self.audit.append(
+            "expost_delivered",
+            {"tx": tx_id, "buyer": wtp.buyer, "sources": mashup.plan.sources()},
+        )
+        platform = self._buyer_platforms.get(wtp.buyer)
+        if platform is not None:
+            platform.receive(
+                DeliveredMashup(
+                    transaction_id=tx_id,
+                    relation=mashup.relation,
+                    price_paid=0.0,
+                    plan_description=mashup.plan.describe(),
+                )
+            )
+
+    def receive_expost_report(
+        self, buyer: str, transaction_id: int, reported_value: float
+    ) -> None:
+        delivery = self._expost.get(transaction_id)
+        if delivery is None or delivery.buyer != buyer:
+            raise MarketError(
+                f"no ex-post delivery {transaction_id} for buyer {buyer!r}"
+            )
+        if delivery.settled:
+            raise MarketError(f"delivery {transaction_id} already settled")
+        if reported_value < 0:
+            raise MarketError("reported value must be non-negative")
+        delivery.reported_value = reported_value
+        self.audit.append(
+            "expost_reported",
+            {"tx": transaction_id, "buyer": buyer, "reported": reported_value},
+        )
+
+    def settle_expost(
+        self,
+        rng: np.random.Generator,
+        true_values: dict[int, float] | None = None,
+    ) -> list[Delivery]:
+        """Charge all reported ex-post deliveries through the mechanism.
+
+        ``true_values`` (tx_id -> v) is the auditor's ground truth; in a
+        simulation the engine passes the buyers' actual realized values, in
+        production it would come from usage metering.  Missing entries mean
+        the audit trusts the report.
+        """
+        mechanism = self.design.expost
+        if mechanism is None:
+            raise MarketError("market has no ex-post mechanism")
+        settled: list[Delivery] = []
+        for tx_id, delivery in sorted(self._expost.items()):
+            if delivery.settled or delivery.reported_value is None:
+                continue
+            true_value = (true_values or {}).get(
+                tx_id, delivery.reported_value
+            )
+            charge = mechanism.charge(
+                ExPostReport(delivery.buyer, delivery.reported_value, true_value),
+                rng,
+            )
+            amount = charge.total
+            if amount > 0:
+                self.ledger.transfer(
+                    delivery.buyer, ARBITER_ACCOUNT, amount,
+                    memo=f"ex-post settlement tx={tx_id}",
+                )
+            # ex-post settlements have no WTP to re-evaluate, so shapley
+            # markets fall back to provenance sharing here
+            engine = self.revenue_engine
+            if engine.method == "shapley":
+                engine = RevenueAllocationEngine(
+                    "provenance", self.design.arbiter_commission
+                )
+            split = engine.split(delivery.mashup, amount)
+            for dataset, share in split.dataset_shares.items():
+                if share > 0:
+                    self.ledger.transfer(
+                        ARBITER_ACCOUNT,
+                        self.licenses.owner_of(dataset),
+                        share,
+                        memo=f"ex-post revenue share for {dataset}",
+                    )
+            sources = delivery.mashup.plan.sources()
+            self.lineage.record_sale(
+                tx_id, delivery.buyer, amount, split.dataset_shares, sources
+            )
+            self.audit.append(
+                "expost_settled",
+                {"tx": tx_id, "buyer": delivery.buyer,
+                 "paid": round(amount, 6), "audited": charge.audited},
+            )
+            delivery.settled = True
+            settled.append(
+                Delivery(
+                    transaction_id=tx_id,
+                    buyer=delivery.buyer,
+                    mashup=delivery.mashup,
+                    satisfaction=float("nan"),
+                    bid=delivery.reported_value,
+                    price_paid=amount,
+                    split=split,
+                )
+            )
+        return settled
+
+    # ------------------------------------------------------------------
+    def _next_tx(self) -> int:
+        self._tx_counter += 1
+        return self._tx_counter
+
+
+def _sane_evaluation(satisfaction: object, price: object) -> bool:
+    """Reject task outputs the market cannot act on (NaN, out of range,
+    non-numeric) — malicious or buggy task packages must not distort the
+    clearing mechanism."""
+    import math
+
+    if not isinstance(satisfaction, (int, float)) or isinstance(
+        satisfaction, bool
+    ):
+        return False
+    if not isinstance(price, (int, float)) or isinstance(price, bool):
+        return False
+    if not (math.isfinite(satisfaction) and math.isfinite(price)):
+        return False
+    return 0.0 <= satisfaction <= 1.0 and price >= 0.0

@@ -1,0 +1,134 @@
+"""The Buyer Management Platform (Section 4.3, Fig. 2 right).
+
+Helps buyers *define* WTP functions without hand-writing them (the paper's
+"interfaces that permit descriptions of a multiplicity of tasks"), submit
+them to an arbiter, receive deliveries, and — for exploratory buyers — file
+the ex-post value report after using the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import MarketError
+from ..relation import Relation
+from ..wtp import (
+    AggregateAccuracyTask,
+    ClassificationTask,
+    ExplorationTask,
+    IntrinsicRequirements,
+    PriceCurve,
+    QueryCompletenessTask,
+    WTPFunction,
+)
+
+
+@dataclass
+class DeliveredMashup:
+    transaction_id: int
+    relation: Relation
+    price_paid: float
+    plan_description: str
+
+
+class BuyerPlatform:
+    """One buyer's local tooling; talks to an arbiter to acquire mashups."""
+
+    def __init__(self, buyer_id: str):
+        self.buyer_id = buyer_id
+        self.deliveries: list[DeliveredMashup] = []
+
+    # -- WTP builders (the interface layer of Section 3.2.2.1) -----------------
+    def classification_wtp(
+        self,
+        labels: Relation,
+        features: Sequence[str],
+        price_steps: Sequence[tuple[float, float]],
+        key: str = "entity_id",
+        examples: Relation | None = None,
+        intrinsic: IntrinsicRequirements | None = None,
+        **task_kwargs,
+    ) -> WTPFunction:
+        """'I will pay $X for >=80% accuracy' in one call."""
+        return WTPFunction(
+            buyer=self.buyer_id,
+            task=ClassificationTask(
+                labels=labels, features=list(features), key=key, **task_kwargs
+            ),
+            curve=PriceCurve(tuple(price_steps)),
+            intrinsic=intrinsic or IntrinsicRequirements(),
+            key=key,
+            examples=examples,
+        )
+
+    def completeness_wtp(
+        self,
+        wanted_keys: Sequence,
+        attributes: Sequence[str],
+        price_steps: Sequence[tuple[float, float]],
+        key: str = "entity_id",
+    ) -> WTPFunction:
+        return WTPFunction(
+            buyer=self.buyer_id,
+            task=QueryCompletenessTask(
+                wanted_keys=list(wanted_keys),
+                attributes=list(attributes),
+                key=key,
+            ),
+            curve=PriceCurve(tuple(price_steps)),
+            key=key,
+        )
+
+    def aggregate_wtp(
+        self,
+        attribute: str,
+        reference_value: float,
+        price_steps: Sequence[tuple[float, float]],
+        aggregate: str = "mean",
+    ) -> WTPFunction:
+        return WTPFunction(
+            buyer=self.buyer_id,
+            task=AggregateAccuracyTask(attribute, reference_value, aggregate),
+            curve=PriceCurve(tuple(price_steps)),
+        )
+
+    def exploration_wtp(
+        self,
+        attributes: Sequence[str],
+        max_budget: float,
+        key: str | None = None,
+    ) -> WTPFunction:
+        """Ex-post buyer: gets data first, reports realized value later."""
+        return WTPFunction(
+            buyer=self.buyer_id,
+            task=ExplorationTask(list(attributes)),
+            curve=PriceCurve.single(0.0, max_budget),
+            elicitation="ex_post",
+            key=key,
+        )
+
+    # -- market interaction -------------------------------------------------------
+    def submit(self, arbiter, wtp: WTPFunction) -> None:
+        if wtp.buyer != self.buyer_id:
+            raise MarketError(
+                f"WTP is signed by {wtp.buyer!r}, not {self.buyer_id!r}"
+            )
+        arbiter.submit_wtp(wtp)
+
+    def receive(self, delivery: "DeliveredMashup") -> None:
+        self.deliveries.append(delivery)
+
+    @property
+    def latest(self) -> DeliveredMashup:
+        if not self.deliveries:
+            raise MarketError(f"buyer {self.buyer_id!r} has no deliveries")
+        return self.deliveries[-1]
+
+    def report_expost_value(
+        self, arbiter, transaction_id: int, realized_value: float
+    ) -> None:
+        """File the a-posteriori value report for an ex-post delivery."""
+        arbiter.receive_expost_report(
+            self.buyer_id, transaction_id, realized_value
+        )

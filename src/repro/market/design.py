@@ -1,0 +1,180 @@
+"""Market designs: the five-component rule bundles of Section 3.1.
+
+A :class:`MarketDesign` packages (1) the elicitation protocol, (2+3) the
+allocation and payment functions (a :class:`~repro.mechanisms.Mechanism`),
+(4) the revenue-allocation method and (5) the revenue-sharing method, plus
+the market goal and incentive type.  The presets reproduce Section 3.3's
+design space:
+
+* :func:`external_market` — independent organizations, money, maximize
+  revenue (Myerson reserve / RSOP for digital goods), Shapley sharing;
+* :func:`internal_market` — one organization, bonus points, maximize social
+  welfare (posted price at cost, i.e. allocate to everyone who values it),
+  provenance sharing;
+* :func:`barter_market` — data-for-data coalitions (hospitals): credits
+  earned by supplying data are the only currency.
+
+The same DMMS (arbiter/seller/buyer platforms) runs all of them — the
+plug'n'play requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MarketDesignError
+from ..mechanisms import (
+    ExPostMechanism,
+    Mechanism,
+    PostedPriceMechanism,
+    RSOPAuction,
+    VickreyAuction,
+)
+
+GOALS = ("revenue", "welfare", "transactions")
+INCENTIVES = ("money", "points", "credits")
+ELICITATIONS = ("upfront", "ex_post", "both")
+REVENUE_SHARING = ("provenance", "shapley", "uniform")
+
+
+@dataclass
+class MarketDesign:
+    """A complete, deployable rule set for one market."""
+
+    name: str
+    goal: str
+    incentive: str
+    elicitation: str
+    mechanism: Mechanism
+    revenue_sharing: str = "provenance"
+    expost: ExPostMechanism | None = None
+    arbiter_commission: float = 0.1
+    #: grant handed to every participant at registration (points/credits
+    #: markets need liquidity to bootstrap)
+    participation_grant: float = 0.0
+    #: incentive minted and split among contributing sellers per completed
+    #: transaction — how internal markets reward sharing even when the
+    #: clearing price is zero (bonus points, Section 3.3)
+    seller_reward: float = 0.0
+
+    def validate(self) -> None:
+        """The 'practical' requirement of Section 3.1."""
+        if self.goal not in GOALS:
+            raise MarketDesignError(
+                f"unknown goal {self.goal!r}; expected one of {GOALS}"
+            )
+        if self.incentive not in INCENTIVES:
+            raise MarketDesignError(
+                f"unknown incentive {self.incentive!r}; "
+                f"expected one of {INCENTIVES}"
+            )
+        if self.elicitation not in ELICITATIONS:
+            raise MarketDesignError(
+                f"unknown elicitation {self.elicitation!r}"
+            )
+        if self.revenue_sharing not in REVENUE_SHARING:
+            raise MarketDesignError(
+                f"unknown revenue sharing {self.revenue_sharing!r}"
+            )
+        if not 0 <= self.arbiter_commission < 1:
+            raise MarketDesignError(
+                "arbiter commission must be in [0, 1)"
+            )
+        if self.participation_grant < 0:
+            raise MarketDesignError("participation grant must be >= 0")
+        if self.seller_reward < 0:
+            raise MarketDesignError("seller reward must be >= 0")
+        if self.elicitation in ("ex_post", "both") and self.expost is None:
+            raise MarketDesignError(
+                "ex-post elicitation requires an ExPostMechanism"
+            )
+        if (
+            self.expost is not None
+            and not self.expost.is_truthful_config()
+        ):
+            raise MarketDesignError(
+                "ex-post mechanism is not truthful "
+                "(audit_probability * penalty_multiplier < 1); strategic "
+                "buyers will under-report"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: goal={self.goal}, incentive={self.incentive}, "
+            f"elicitation={self.elicitation}, "
+            f"mechanism={self.mechanism.name}, "
+            f"sharing={self.revenue_sharing}, "
+            f"commission={self.arbiter_commission:.0%}"
+        )
+
+
+def external_market(
+    commission: float = 0.1, rsop_seed: int = 0
+) -> MarketDesign:
+    """Money market across organizations, revenue-maximizing."""
+    design = MarketDesign(
+        name="external",
+        goal="revenue",
+        incentive="money",
+        elicitation="both",
+        mechanism=RSOPAuction(seed=rsop_seed),
+        revenue_sharing="shapley",
+        expost=ExPostMechanism(
+            payment_share=0.5, audit_probability=0.3, penalty_multiplier=4.0
+        ),
+        arbiter_commission=commission,
+    )
+    design.validate()
+    return design
+
+
+def internal_market(grant: float = 100.0) -> MarketDesign:
+    """Bonus-point market inside one organization, welfare-maximizing:
+    posted price 0 + commission 0 allocates data to everyone who wants it;
+    sellers are rewarded with points minted per transaction."""
+    design = MarketDesign(
+        name="internal",
+        goal="welfare",
+        incentive="points",
+        elicitation="upfront",
+        mechanism=PostedPriceMechanism(price=0.0),
+        revenue_sharing="provenance",
+        arbiter_commission=0.0,
+        participation_grant=grant,
+        seller_reward=10.0,
+    )
+    design.validate()
+    return design
+
+
+def barter_market(grant: float = 10.0) -> MarketDesign:
+    """Credit-based data-for-data exchange (hospital coalitions)."""
+    design = MarketDesign(
+        name="barter",
+        goal="transactions",
+        incentive="credits",
+        elicitation="upfront",
+        mechanism=PostedPriceMechanism(price=1.0),
+        revenue_sharing="uniform",
+        arbiter_commission=0.0,
+        participation_grant=grant,
+    )
+    design.validate()
+    return design
+
+
+def exclusive_auction_market(
+    k: int = 1, reserve: float = 0.0, commission: float = 0.1
+) -> MarketDesign:
+    """Scarce (exclusive-license) goods cleared by a k-unit Vickrey."""
+    design = MarketDesign(
+        name="exclusive",
+        goal="revenue",
+        incentive="money",
+        elicitation="upfront",
+        mechanism=VickreyAuction(k=k, reserve=reserve),
+        revenue_sharing="shapley",
+        arbiter_commission=commission,
+    )
+    design.validate()
+    return design

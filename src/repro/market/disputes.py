@@ -1,0 +1,207 @@
+"""Dispute management (Section 4.4).
+
+"For situations when the chain of trust is broken, dispute management
+systems must be either embedded in or informed by the transactions that
+take place in the DMMS so the appropriate entities can intervene and
+resolve the situation."
+
+The desk is *informed by* the DMMS exactly as the paper asks: every filed
+dispute is adjudicated against the tamper-evident audit log and the lineage
+store — a claim that contradicts the recorded transaction is dismissed,
+a substantiated claim triggers a ledger refund, and the resolution itself
+is appended to the audit log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import MarketError
+from .accountability import AuditLog, LineageStore
+from .transaction import Ledger
+
+
+class DisputeError(MarketError):
+    pass
+
+
+class DisputeStatus(enum.Enum):
+    OPEN = "open"
+    UPHELD = "upheld"  # complainant was right: refund issued
+    DISMISSED = "dismissed"  # records contradict the claim
+
+
+class DisputeKind(enum.Enum):
+    NOT_DELIVERED = "not_delivered"  # "I paid but have no transaction"
+    OVERCHARGED = "overcharged"  # "I was charged more than recorded"
+    UNPAID_SHARE = "unpaid_share"  # seller: "my dataset sold but I got 0"
+
+
+@dataclass
+class Dispute:
+    dispute_id: int
+    complainant: str
+    kind: DisputeKind
+    transaction_id: int
+    claimed_amount: float
+    status: DisputeStatus = DisputeStatus.OPEN
+    resolution: str = ""
+    refund: float = 0.0
+
+
+class DisputeDesk:
+    """Files and adjudicates disputes against the market's own records."""
+
+    def __init__(self, ledger: Ledger, audit: AuditLog, lineage: LineageStore,
+                 arbiter_account: str = "arbiter"):
+        self.ledger = ledger
+        self.audit = audit
+        self.lineage = lineage
+        self.arbiter_account = arbiter_account
+        self._disputes: list[Dispute] = []
+
+    def file(
+        self,
+        complainant: str,
+        kind: DisputeKind,
+        transaction_id: int,
+        claimed_amount: float,
+    ) -> Dispute:
+        if claimed_amount < 0:
+            raise DisputeError("claimed amount must be non-negative")
+        if complainant not in self.ledger:
+            raise DisputeError(f"unknown participant {complainant!r}")
+        dispute = Dispute(
+            dispute_id=len(self._disputes),
+            complainant=complainant,
+            kind=kind,
+            transaction_id=transaction_id,
+            claimed_amount=claimed_amount,
+        )
+        self._disputes.append(dispute)
+        self.audit.append(
+            "dispute_filed",
+            {"dispute": dispute.dispute_id, "by": complainant,
+             "kind": kind.value, "tx": transaction_id},
+        )
+        return dispute
+
+    def dispute(self, dispute_id: int) -> Dispute:
+        try:
+            return self._disputes[dispute_id]
+        except IndexError:
+            raise DisputeError(f"unknown dispute {dispute_id}") from None
+
+    def open_disputes(self) -> list[Dispute]:
+        return [d for d in self._disputes if d.status is DisputeStatus.OPEN]
+
+    # -- adjudication -----------------------------------------------------------
+    def resolve(self, dispute_id: int) -> Dispute:
+        """Adjudicate one dispute from the audit/lineage evidence."""
+        dispute = self.dispute(dispute_id)
+        if dispute.status is not DisputeStatus.OPEN:
+            raise DisputeError(
+                f"dispute {dispute_id} is already {dispute.status.value}"
+            )
+        self.audit.verify()  # evidence must be intact before it is used
+        record = self._transaction_record(dispute.transaction_id)
+
+        if dispute.kind is DisputeKind.NOT_DELIVERED:
+            if record is None:
+                self._uphold(
+                    dispute,
+                    "no transaction record exists: refund the claim",
+                    dispute.claimed_amount,
+                )
+            else:
+                self._dismiss(
+                    dispute,
+                    f"transaction {dispute.transaction_id} is on record "
+                    f"(buyer {record['buyer']})",
+                )
+        elif dispute.kind is DisputeKind.OVERCHARGED:
+            if record is None:
+                self._dismiss(dispute, "no such transaction on record")
+            else:
+                recorded = float(record["paid"])
+                if dispute.claimed_amount > recorded + 1e-9:
+                    self._uphold(
+                        dispute,
+                        f"recorded payment is {recorded}; refunding the "
+                        f"difference",
+                        dispute.claimed_amount - recorded,
+                    )
+                else:
+                    self._dismiss(
+                        dispute,
+                        f"claimed {dispute.claimed_amount} does not exceed "
+                        f"the recorded payment {recorded}",
+                    )
+        elif dispute.kind is DisputeKind.UNPAID_SHARE:
+            owed = self._owed_share(dispute)
+            paid = self._paid_to(dispute.complainant, dispute.transaction_id)
+            if owed > paid + 1e-6:
+                self._uphold(
+                    dispute,
+                    f"lineage records a {owed:.2f} share but only "
+                    f"{paid:.2f} was transferred",
+                    owed - paid,
+                )
+            else:
+                self._dismiss(
+                    dispute,
+                    f"ledger shows {paid:.2f} transferred against a "
+                    f"{owed:.2f} lineage share",
+                )
+        return dispute
+
+    # -- evidence helpers ----------------------------------------------------------
+    def _transaction_record(self, transaction_id: int) -> dict | None:
+        for record in self.audit.records("transaction"):
+            if record.payload.get("tx") == transaction_id:
+                return record.payload
+        return None
+
+    def _owed_share(self, dispute: Dispute) -> float:
+        total = 0.0
+        for dataset in self.lineage.datasets():
+            for sale in self.lineage.sales_of(dataset):
+                if sale.transaction_id == dispute.transaction_id:
+                    total += sale.dataset_share
+        return total
+
+    def _paid_to(self, account: str, transaction_id: int) -> float:
+        # revenue-share transfers carry a "revenue share for <ds>" memo;
+        # without per-tx memos we conservatively sum all such transfers
+        return sum(
+            t.amount
+            for t in self.ledger.history(account)
+            if t.destination == account and "revenue share" in t.memo
+        )
+
+    def _uphold(self, dispute: Dispute, reason: str, refund: float) -> None:
+        dispute.status = DisputeStatus.UPHELD
+        dispute.resolution = reason
+        dispute.refund = refund
+        if refund > 0:
+            self.ledger.transfer(
+                self.arbiter_account,
+                dispute.complainant,
+                refund,
+                memo=f"dispute {dispute.dispute_id} refund",
+            )
+        self.audit.append(
+            "dispute_resolved",
+            {"dispute": dispute.dispute_id, "status": "upheld",
+             "refund": refund, "reason": reason},
+        )
+
+    def _dismiss(self, dispute: Dispute, reason: str) -> None:
+        dispute.status = DisputeStatus.DISMISSED
+        dispute.resolution = reason
+        self.audit.append(
+            "dispute_resolved",
+            {"dispute": dispute.dispute_id, "status": "dismissed",
+             "reason": reason},
+        )

@@ -1,0 +1,120 @@
+"""A data-insurance sketch (Section 7.1).
+
+"Once data has a value and a price, it is possible to build an insurance
+market around it...  How liable is a company that suffers a data breach?...
+Can/Should insurance cover these cases?"  And from the FAQ: "it is possible
+to envision a data insurance market, where a different entity than the
+seller (i.e., the arbiter) takes liability for any legal problems caused by
+that data."
+
+Minimal actuarial model: the insurer quotes a premium
+``breach_probability · liability · (1 + loading)`` per period, collects it
+through the ledger, and pays out the liability on a filed breach claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MarketError
+from .transaction import Ledger
+
+
+class InsuranceError(MarketError):
+    pass
+
+
+@dataclass
+class InsurancePolicy:
+    policy_id: int
+    dataset: str
+    insured: str  # account that pays premiums and receives payouts
+    liability: float  # payout on breach
+    breach_probability: float  # insurer's risk estimate per period
+    loading: float = 0.25  # insurer margin
+    active: bool = True
+    claims_paid: int = 0
+
+    @property
+    def premium(self) -> float:
+        return self.breach_probability * self.liability * (1.0 + self.loading)
+
+
+class InsuranceDesk:
+    """Issues policies, collects premiums, settles breach claims."""
+
+    INSURER_ACCOUNT = "insurer"
+
+    def __init__(self, ledger: Ledger):
+        self.ledger = ledger
+        self.ledger.ensure_account(self.INSURER_ACCOUNT)
+        self._policies: list[InsurancePolicy] = []
+
+    def underwrite(
+        self,
+        dataset: str,
+        insured: str,
+        liability: float,
+        breach_probability: float,
+        loading: float = 0.25,
+    ) -> InsurancePolicy:
+        if liability <= 0:
+            raise InsuranceError("liability must be positive")
+        if not 0 < breach_probability < 1:
+            raise InsuranceError("breach probability must be in (0, 1)")
+        if loading < 0:
+            raise InsuranceError("loading must be non-negative")
+        policy = InsurancePolicy(
+            policy_id=len(self._policies),
+            dataset=dataset,
+            insured=insured,
+            liability=liability,
+            breach_probability=breach_probability,
+            loading=loading,
+        )
+        self._policies.append(policy)
+        return policy
+
+    def policy(self, policy_id: int) -> InsurancePolicy:
+        try:
+            return self._policies[policy_id]
+        except IndexError:
+            raise InsuranceError(f"unknown policy {policy_id}") from None
+
+    def collect_premium(self, policy_id: int) -> float:
+        policy = self.policy(policy_id)
+        if not policy.active:
+            raise InsuranceError(f"policy {policy_id} is inactive")
+        self.ledger.transfer(
+            policy.insured,
+            self.INSURER_ACCOUNT,
+            policy.premium,
+            memo=f"premium policy={policy_id} dataset={policy.dataset}",
+        )
+        return policy.premium
+
+    def file_claim(self, policy_id: int) -> float:
+        """A breach occurred: pay the liability and retire the policy."""
+        policy = self.policy(policy_id)
+        if not policy.active:
+            raise InsuranceError(f"policy {policy_id} is inactive")
+        self.ledger.transfer(
+            self.INSURER_ACCOUNT,
+            policy.insured,
+            policy.liability,
+            memo=f"claim policy={policy_id} dataset={policy.dataset}",
+        )
+        policy.claims_paid += 1
+        policy.active = False
+        return policy.liability
+
+    def solvency(self) -> float:
+        return self.ledger.balance(self.INSURER_ACCOUNT)
+
+    def expected_profit_per_period(self) -> float:
+        """Sum over active policies of premium - p·liability (the loading)."""
+        return sum(
+            p.premium - p.breach_probability * p.liability
+            for p in self._policies
+            if p.active
+        )

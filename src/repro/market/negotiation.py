@@ -1,0 +1,127 @@
+"""Negotiation rounds between arbiter and sellers (Section 4.1).
+
+"If the AMS cannot find mashups that fulfill the buyer's needs, it can
+describe the information it lacks and ask the sellers to complete it.
+Sellers are incentivized to add that information to receive a profit."
+
+The manager turns the mashup builder's gap report into open
+:class:`InfoRequest`s with bounties proportional to observed demand.
+Sellers respond with either a mapping explanation (a
+:class:`~repro.integration.dod.TransformHint`) or a brand-new dataset; a
+successful response closes the request and records who to credit when the
+attribute later sells.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import NegotiationError
+from ..integration import TransformHint
+from ..relation import Relation
+
+
+class RequestStatus(enum.Enum):
+    OPEN = "open"
+    FULFILLED = "fulfilled"
+    WITHDRAWN = "withdrawn"
+
+
+@dataclass
+class InfoRequest:
+    request_id: int
+    attribute: str
+    description: str
+    bounty: float
+    status: RequestStatus = RequestStatus.OPEN
+    fulfilled_by: str | None = None
+
+
+class NegotiationManager:
+    """Open requests for missing attributes + seller responses."""
+
+    def __init__(self, base_bounty: float = 1.0):
+        if base_bounty < 0:
+            raise NegotiationError("base bounty must be non-negative")
+        self.base_bounty = base_bounty
+        self._requests: list[InfoRequest] = []
+        self._by_attribute: dict[str, int] = {}
+
+    # -- arbiter side -----------------------------------------------------------
+    def publish_gaps(self, demand: dict[str, int]) -> list[InfoRequest]:
+        """Open (or re-price) one request per missing attribute; bounty
+        scales with how many buyers asked for it."""
+        out = []
+        for attribute, count in sorted(demand.items()):
+            bounty = self.base_bounty * count
+            if attribute in self._by_attribute:
+                request = self._requests[self._by_attribute[attribute]]
+                if request.status is RequestStatus.OPEN:
+                    request.bounty = max(request.bounty, bounty)
+                    out.append(request)
+                continue
+            request = InfoRequest(
+                request_id=len(self._requests),
+                attribute=attribute,
+                description=(
+                    f"buyers requested attribute {attribute!r} "
+                    f"{count} time(s); no seller currently supplies it"
+                ),
+                bounty=bounty,
+            )
+            self._requests.append(request)
+            self._by_attribute[attribute] = request.request_id
+            out.append(request)
+        return out
+
+    def open_requests(self) -> list[InfoRequest]:
+        return [r for r in self._requests if r.status is RequestStatus.OPEN]
+
+    def request(self, request_id: int) -> InfoRequest:
+        try:
+            return self._requests[request_id]
+        except IndexError:
+            raise NegotiationError(
+                f"unknown request id {request_id}"
+            ) from None
+
+    # -- seller side --------------------------------------------------------------
+    def respond_with_hint(
+        self, request_id: int, seller: str, hint: TransformHint
+    ) -> InfoRequest:
+        """A seller explains how an existing column maps to the attribute."""
+        request = self._open(request_id)
+        if hint.target_attribute != request.attribute:
+            raise NegotiationError(
+                f"hint targets {hint.target_attribute!r} but the request "
+                f"is for {request.attribute!r}"
+            )
+        request.status = RequestStatus.FULFILLED
+        request.fulfilled_by = seller
+        return request
+
+    def respond_with_dataset(
+        self, request_id: int, seller: str, dataset: Relation
+    ) -> InfoRequest:
+        """An opportunistic seller supplies a new dataset with the column."""
+        request = self._open(request_id)
+        if request.attribute not in dataset.schema:
+            raise NegotiationError(
+                f"dataset {dataset.name!r} does not contain the requested "
+                f"attribute {request.attribute!r}"
+            )
+        request.status = RequestStatus.FULFILLED
+        request.fulfilled_by = seller
+        return request
+
+    def withdraw(self, request_id: int) -> None:
+        self._open(request_id).status = RequestStatus.WITHDRAWN
+
+    def _open(self, request_id: int) -> InfoRequest:
+        request = self.request(request_id)
+        if request.status is not RequestStatus.OPEN:
+            raise NegotiationError(
+                f"request {request_id} is {request.status.value}, not open"
+            )
+        return request

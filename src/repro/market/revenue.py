@@ -1,0 +1,238 @@
+"""The Revenue Allocation Engine (Fig. 2).
+
+Implements Section 3.2.3's two problems:
+
+* **revenue allocation** — "what portion of p is allocated to each row in
+  m": :func:`row_allocation` splits the sale price uniformly over mashup
+  rows (each row is one unit of the delivered good);
+* **revenue sharing** — "how the price from each row in m is shared among
+  the contributing datasets": three interchangeable methods, selected by the
+  market design:
+
+  - ``provenance`` — evaluate each row's semiring annotation with
+    :func:`~repro.relation.provenance.token_shares` (joint factors split a
+    row's value; alternative derivations share it) and aggregate by source
+    dataset.  Exact, cheap, and faithful to how the mashup was built.
+  - ``shapley`` — treat the contributing datasets as a coalition whose
+    characteristic function re-evaluates the buyer's WTP on partial
+    mashups; allocate by exact Shapley value.  Captures task synergies that
+    provenance cannot see, at exponential cost in the (small) number of
+    datasets.
+  - ``uniform`` — equal split; the baseline ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import IntegrationError, ValuationError
+from ..integration.plan import Mashup, MashupPlan
+from ..relation import Relation, source_shares
+from ..valuation import CoalitionGame, exact_shapley, normalize_to_total
+from ..wtp import TaskEvaluationError, WTPFunction
+
+
+@dataclass(frozen=True)
+class RevenueSplit:
+    """The final division of one sale's proceeds."""
+
+    total_price: float
+    arbiter_fee: float
+    dataset_shares: dict[str, float]
+    method: str
+
+    @property
+    def sellers_total(self) -> float:
+        return sum(self.dataset_shares.values())
+
+    def conserves(self) -> bool:
+        return abs(
+            self.arbiter_fee + self.sellers_total - self.total_price
+        ) < 1e-6
+
+
+def row_allocation(mashup: Relation, price: float) -> list[float]:
+    """Revenue allocation: the portion of ``price`` carried by each row."""
+    n = len(mashup)
+    if n == 0:
+        return []
+    return [price / n] * n
+
+
+def provenance_shares(mashup: Relation) -> dict[str, float]:
+    """Per-dataset share weights from the mashup's provenance annotations."""
+    shares = source_shares(mashup.provenance)
+    if not shares:
+        raise ValuationError(
+            "mashup rows carry no provenance; cannot share revenue"
+        )
+    return shares
+
+
+def shapley_shares(
+    mashup: Mashup,
+    wtp: WTPFunction,
+    resolver,
+    max_players: int = 10,
+) -> dict[str, float]:
+    """Per-dataset Shapley weights from re-evaluating the WTP on partial
+    mashups (coalitions of the plan's source datasets).
+
+    A coalition's value is the WTP price the buyer would have paid for the
+    mashup rebuilt from only those datasets; disconnected or task-breaking
+    coalitions are worth zero.
+    """
+    sources = mashup.plan.sources()
+    if len(sources) == 1:
+        return {sources[0]: 1.0}
+
+    def value(coalition: frozenset) -> float:
+        partial = _partial_plan(mashup.plan, coalition)
+        if partial is None:
+            return 0.0
+        try:
+            relation = partial.execute(resolver)
+        except IntegrationError:
+            return 0.0
+        if len(relation) == 0:
+            return 0.0
+        try:
+            _satisfaction, price = wtp.evaluate(relation)
+        except TaskEvaluationError:
+            return 0.0
+        return price
+
+    game = CoalitionGame.of(sources, value)
+    return exact_shapley(game, max_players=max_players)
+
+
+def _partial_plan(
+    plan: MashupPlan, coalition: frozenset
+) -> MashupPlan | None:
+    """Restrict a plan to a dataset coalition (prefix-closed join chain).
+
+    Coalitions not containing the plan's base are re-rooted when they are a
+    single dataset (its own columns stand alone); multi-dataset coalitions
+    that exclude the base would need full re-planning and are conservatively
+    valued at zero.
+    """
+    if plan.base not in coalition:
+        if len(coalition) == 1:
+            (dataset,) = coalition
+            equivalent = _join_equivalences(plan)
+            transforms = [
+                t for t in plan.transforms
+                if _source_of(t.source_column) == dataset
+            ]
+            transformed = {t.output_column for t in transforms}
+            output: dict[str, str] = {}
+            for attr, src in plan.output.items():
+                if attr in transformed:
+                    output[attr] = attr
+                elif "__" in src and _source_of(src) == dataset:
+                    output[attr] = src
+                elif "__" in src:
+                    # join keys are shared values: remap through the join
+                    # predicate to this dataset's own column when possible
+                    twin = next(
+                        (c for c in equivalent.get(src, ())
+                         if _source_of(c) == dataset),
+                        None,
+                    )
+                    if twin is not None:
+                        output[attr] = twin
+            if not output:
+                return None
+            return MashupPlan(
+                base=dataset, joins=[], transforms=transforms, output=output
+            )
+        return None
+    included = {plan.base}
+    joins = []
+    for step in plan.joins:
+        if step.dataset not in coalition:
+            continue
+        left_source = step.left_on.split("__")[0]
+        if left_source not in included:
+            return None  # chain broken: cannot reach this dataset
+        joins.append(step)
+        included.add(step.dataset)
+    transforms = [
+        t for t in plan.transforms
+        if t.source_column.split("__")[0] in included
+    ]
+    transformed = {t.output_column for t in transforms}
+    output: dict[str, str] = {}
+    for attr, src in plan.output.items():
+        if attr in transformed:
+            output[attr] = attr
+        elif "__" in src and _source_of(src) in included:
+            output[attr] = src
+    if not output:
+        return None
+    return MashupPlan(
+        base=plan.base, joins=joins, transforms=transforms, output=output
+    )
+
+
+def _source_of(qualified_column: str) -> str:
+    return qualified_column.split("__")[0]
+
+
+def _join_equivalences(plan: MashupPlan) -> dict[str, set[str]]:
+    """Equivalence classes of qualified columns linked by join predicates."""
+    classes: dict[str, set[str]] = {}
+    for step in plan.joins:
+        a, b = step.left_on, step.right_on
+        merged = classes.get(a, {a}) | classes.get(b, {b})
+        for member in merged:
+            classes[member] = merged
+    return classes
+
+
+class RevenueAllocationEngine:
+    """Selects and applies the design's revenue-sharing method."""
+
+    def __init__(self, method: str, commission: float):
+        if method not in ("provenance", "shapley", "uniform"):
+            raise ValuationError(f"unknown revenue-sharing method {method!r}")
+        self.method = method
+        self.commission = commission
+
+    def split(
+        self,
+        mashup: Mashup,
+        price: float,
+        wtp: WTPFunction | None = None,
+        resolver=None,
+    ) -> RevenueSplit:
+        fee = price * self.commission
+        pot = price - fee
+        sources = mashup.plan.sources()
+        if self.method == "uniform" or len(sources) == 1:
+            weights = {s: 1.0 for s in sources}
+        elif self.method == "provenance":
+            weights = provenance_shares(mashup.relation)
+            # datasets that contributed no surviving rows still appear with 0
+            for s in sources:
+                weights.setdefault(s, 0.0)
+        elif len(sources) > 10:
+            # exact Shapley over >10 datasets is impractical (2^n task
+            # re-evaluations): fall back to provenance sharing rather than
+            # stall the market round
+            weights = provenance_shares(mashup.relation)
+            for s in sources:
+                weights.setdefault(s, 0.0)
+        else:  # shapley
+            if wtp is None or resolver is None:
+                raise ValuationError(
+                    "shapley sharing needs the WTP function and a resolver"
+                )
+            weights = shapley_shares(mashup, wtp, resolver)
+        shares = normalize_to_total(weights, pot)
+        return RevenueSplit(
+            total_price=price,
+            arbiter_fee=fee,
+            dataset_shares=shares,
+            method=self.method,
+        )

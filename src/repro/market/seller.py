@@ -1,0 +1,141 @@
+"""The Seller Management Platform (Section 4.2, Fig. 2 left).
+
+Wraps one seller's interaction with the arbiter: packaging datasets (bulk
+CSV directories or in-memory relations), optional anonymization before
+sharing (k-anonymity or ε-DP perturbation drawn from a privacy budget),
+reserve prices, licenses, accountability queries, and negotiation responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MarketError
+from ..integration import TransformHint
+from ..privacy import PrivacyAccountant, anonymize, perturb_numeric_column
+from ..relation import Relation, read_csv_dir
+from .licensing import ContextualIntegrityPolicy, License
+
+
+@dataclass
+class SellerOffer:
+    """A dataset as the seller wants it traded."""
+
+    relation: Relation
+    reserve_price: float = 0.0
+    license: License | None = None
+    policy: ContextualIntegrityPolicy | None = None
+
+
+class SellerPlatform:
+    """One seller's local tooling; talks to an arbiter to share data."""
+
+    def __init__(self, seller_id: str, privacy_budget: float | None = None):
+        self.seller_id = seller_id
+        self.accountant = PrivacyAccountant()
+        self._default_budget = privacy_budget
+        self._offers: dict[str, SellerOffer] = {}
+
+    # -- packaging -------------------------------------------------------------
+    def package(
+        self,
+        relation: Relation,
+        reserve_price: float = 0.0,
+        license: License | None = None,
+        policy: ContextualIntegrityPolicy | None = None,
+    ) -> SellerOffer:
+        if reserve_price < 0:
+            raise MarketError("reserve price must be non-negative")
+        if relation.name in self._offers:
+            raise MarketError(
+                f"dataset {relation.name!r} is already packaged"
+            )
+        offer = SellerOffer(relation, reserve_price, license, policy)
+        self._offers[relation.name] = offer
+        if self._default_budget is not None:
+            self.accountant.register(relation.name, self._default_budget)
+        return offer
+
+    def package_csv_dir(self, path: str, reserve_price: float = 0.0) -> list[SellerOffer]:
+        """Bulk interface: share every CSV in a directory (data-lake mode)."""
+        return [
+            self.package(rel, reserve_price=reserve_price)
+            for rel in read_csv_dir(path)
+        ]
+
+    @property
+    def offers(self) -> list[SellerOffer]:
+        return [self._offers[k] for k in sorted(self._offers)]
+
+    def offer(self, dataset: str) -> SellerOffer:
+        try:
+            return self._offers[dataset]
+        except KeyError:
+            raise MarketError(
+                f"seller {self.seller_id!r} has no offer {dataset!r}"
+            ) from None
+
+    # -- privacy pre-processing ---------------------------------------------------
+    def anonymized_offer(
+        self,
+        dataset: str,
+        quasi_identifiers: list[str],
+        k: int,
+        suppress: list[str] | None = None,
+    ) -> SellerOffer:
+        """Replace an offer's relation by its k-anonymized version."""
+        offer = self.offer(dataset)
+        safe = anonymize(
+            offer.relation, quasi_identifiers, k, suppress=suppress
+        ).with_provenance_root(offer.relation.name)
+        offer.relation = safe.renamed(offer.relation.name)
+        return offer
+
+    def dp_offer(
+        self,
+        dataset: str,
+        column: str,
+        epsilon: float,
+        rng: np.random.Generator,
+        sensitivity: float = 1.0,
+    ) -> SellerOffer:
+        """Replace an offer's numeric column by an ε-DP perturbed copy,
+        drawing ε from this seller's privacy budget."""
+        offer = self.offer(dataset)
+        if dataset in self.accountant:
+            self.accountant.spend(dataset, epsilon, purpose=f"perturb {column}")
+        noisy = perturb_numeric_column(
+            offer.relation, column, epsilon, rng, sensitivity=sensitivity
+        ).renamed(offer.relation.name)
+        offer.relation = noisy.with_provenance_root(offer.relation.name)
+        return offer
+
+    # -- market interaction -----------------------------------------------------
+    def share_all(self, arbiter) -> None:
+        """Register every packaged offer with the arbiter."""
+        for offer in self.offers:
+            arbiter.accept_dataset(
+                offer.relation,
+                seller=self.seller_id,
+                reserve_price=offer.reserve_price,
+                license=offer.license,
+                policy=offer.policy,
+            )
+
+    def my_sales(self, arbiter) -> dict[str, float]:
+        """Accountability: revenue earned per dataset (from the lineage)."""
+        return {
+            name: arbiter.lineage.revenue_of(name)
+            for name in sorted(self._offers)
+        }
+
+    def respond_to_request(
+        self, arbiter, request_id: int, hint: TransformHint
+    ) -> None:
+        """Answer a negotiation round with mapping information."""
+        arbiter.negotiation.respond_with_hint(
+            request_id, self.seller_id, hint
+        )
+        arbiter.builder.add_hint(hint)

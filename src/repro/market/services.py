@@ -1,0 +1,59 @@
+"""Arbiter services: recommendations, with the leakage caveat.
+
+Section 4.1: "the arbiter could recommend datasets to buyers based on what
+similar buyers have purchased before.  This kind of service, however, leaks
+information that was previously private to other buyers."  The recommender
+is therefore explicit about that externality: every recommendation carries a
+``leaks_information`` flag and the co-purchase evidence behind it, so market
+designs can price or disable the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    dataset: str
+    score: float
+    #: buyers whose history produced this recommendation — the leaked signal
+    evidence_buyers: tuple[str, ...]
+    leaks_information: bool = True
+
+
+class RecommendationService:
+    """Item-based collaborative filtering over purchase histories."""
+
+    def __init__(self):
+        self._purchases: dict[str, set[str]] = {}
+
+    def record_purchase(self, buyer: str, datasets: list[str]) -> None:
+        self._purchases.setdefault(buyer, set()).update(datasets)
+
+    def purchases_of(self, buyer: str) -> set[str]:
+        return set(self._purchases.get(buyer, set()))
+
+    def recommend(self, buyer: str, limit: int = 5) -> list[Recommendation]:
+        """Datasets bought by buyers with overlapping histories."""
+        mine = self._purchases.get(buyer, set())
+        scores: dict[str, float] = {}
+        evidence: dict[str, set[str]] = {}
+        for other, theirs in self._purchases.items():
+            if other == buyer or not mine:
+                continue
+            overlap = len(mine & theirs) / len(mine | theirs)
+            if overlap == 0:
+                continue
+            for dataset in theirs - mine:
+                scores[dataset] = scores.get(dataset, 0.0) + overlap
+                evidence.setdefault(dataset, set()).add(other)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            Recommendation(
+                dataset=d,
+                score=round(s, 6),
+                evidence_buyers=tuple(sorted(evidence[d])),
+            )
+            for d, s in ranked[:limit]
+        ]

@@ -1,0 +1,14 @@
+"""Mashup plans and the mashup builder orchestrator."""
+
+from .builder import GapReport, MashupBuilder
+from .plan import JoinStep, Mashup, MashupPlan, TransformStep, qualified
+
+__all__ = [
+    "MashupBuilder",
+    "GapReport",
+    "Mashup",
+    "MashupPlan",
+    "JoinStep",
+    "TransformStep",
+    "qualified",
+]

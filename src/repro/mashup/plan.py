@@ -1,0 +1,11 @@
+"""Re-export of mashup plan types (implementation lives in integration)."""
+
+from ..integration.plan import (  # noqa: F401
+    JoinStep,
+    Mashup,
+    MashupPlan,
+    TransformStep,
+    qualified,
+)
+
+__all__ = ["JoinStep", "Mashup", "MashupPlan", "TransformStep", "qualified"]

@@ -1,0 +1,20 @@
+"""Allocation and payment mechanisms: auctions, digital goods, ex-post."""
+
+from .auctions import GSPAuction, MyersonAuction, VickreyAuction
+from .base import Bid, Mechanism, Outcome
+from .digital import PostedPriceMechanism, RSOPAuction
+from .expost import ExPostCharge, ExPostMechanism, ExPostReport
+
+__all__ = [
+    "Bid",
+    "Outcome",
+    "Mechanism",
+    "VickreyAuction",
+    "GSPAuction",
+    "MyersonAuction",
+    "PostedPriceMechanism",
+    "RSOPAuction",
+    "ExPostMechanism",
+    "ExPostReport",
+    "ExPostCharge",
+]

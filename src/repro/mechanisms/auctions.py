@@ -1,0 +1,119 @@
+"""Classic auctions: Vickrey (k-unit, uniform price) and GSP.
+
+Section 3.2.1 grounds the discussion in "a generalized second-price auction
+[where] buyers bid for assets and the market decides who obtains the asset
+in such a way that the top-K bids are allocated the K finite assets and each
+kth-buyer pays the bid made by the (k-1)-buyer".  Both are implemented here;
+the Vickrey variant is the incentive-compatible workhorse the market designs
+use for scarce (exclusive-license) goods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import MechanismError
+from .base import Bid, Mechanism, Outcome
+
+
+@dataclass
+class VickreyAuction(Mechanism):
+    """k-unit uniform-price Vickrey: top-k bids win, all pay the (k+1)-th.
+
+    Truthful for unit-demand bidders; the textbook choice when a dataset is
+    sold under an exclusive license with k slots (artificial scarcity,
+    Section 4.4).
+    """
+
+    k: int = 1
+    reserve: float = 0.0
+    name: str = "vickrey"
+    incentive_compatible: bool = True
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise MechanismError("k must be >= 1")
+        if self.reserve < 0:
+            raise MechanismError("reserve must be non-negative")
+
+    def run(self, bids: Sequence[Bid]) -> Outcome:
+        ranked = self._sorted_bids(bids)
+        eligible = [b for b in ranked if b.amount >= self.reserve]
+        winners = eligible[: self.k]
+        if not winners:
+            return Outcome()
+        if len(eligible) > self.k:
+            clearing = max(eligible[self.k].amount, self.reserve)
+        else:
+            clearing = self.reserve
+        return Outcome(
+            allocations={b.bidder: 1.0 for b in winners},
+            payments={b.bidder: clearing for b in winners},
+        )
+
+
+@dataclass
+class GSPAuction(Mechanism):
+    """Generalized second price over ranked slots with click weights.
+
+    Slot i has weight ``slot_weights[i]`` (descending); bidder in slot i
+    pays the next bidder's bid per unit of weight.  Not truthful in general
+    — the simulator uses it to show IC failure empirically.
+    """
+
+    slot_weights: tuple[float, ...] = (1.0,)
+    name: str = "gsp"
+    incentive_compatible: bool = False
+
+    def __post_init__(self):
+        if not self.slot_weights:
+            raise MechanismError("need at least one slot")
+        weights = list(self.slot_weights)
+        if any(w <= 0 for w in weights):
+            raise MechanismError("slot weights must be positive")
+        if sorted(weights, reverse=True) != weights:
+            raise MechanismError("slot weights must be non-increasing")
+
+    def run(self, bids: Sequence[Bid]) -> Outcome:
+        ranked = self._sorted_bids(bids)
+        allocations: dict[str, float] = {}
+        payments: dict[str, float] = {}
+        for slot, bid in enumerate(ranked[: len(self.slot_weights)]):
+            weight = self.slot_weights[slot]
+            next_bid = (
+                ranked[slot + 1].amount if slot + 1 < len(ranked) else 0.0
+            )
+            allocations[bid.bidder] = weight
+            payments[bid.bidder] = next_bid * weight
+        return Outcome(allocations=allocations, payments=payments)
+
+
+@dataclass
+class MyersonAuction(Mechanism):
+    """Second-price auction with Myerson's optimal reserve.
+
+    Revenue-optimal for a single item under regular valuation distributions
+    (the external-market design's "extract as much money as possible").
+    """
+
+    reserve: float
+    name: str = "myerson"
+    incentive_compatible: bool = True
+
+    def __post_init__(self):
+        if self.reserve < 0:
+            raise MechanismError("reserve must be non-negative")
+
+    def run(self, bids: Sequence[Bid]) -> Outcome:
+        ranked = self._sorted_bids(bids)
+        eligible = [b for b in ranked if b.amount >= self.reserve]
+        if not eligible:
+            return Outcome()
+        winner = eligible[0]
+        second = eligible[1].amount if len(eligible) > 1 else 0.0
+        price = max(second, self.reserve)
+        return Outcome(
+            allocations={winner.bidder: 1.0},
+            payments={winner.bidder: price},
+        )

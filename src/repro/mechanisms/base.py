@@ -1,0 +1,82 @@
+"""Mechanism interfaces: bids, outcomes, and the allocation/payment pair.
+
+Section 3.1's market design has an *allocation function* ("which buyers get
+what mashup") and a *payment function* ("how much money buyers need to pay").
+A :class:`Mechanism` implements both at once — auctions are the canonical
+example the paper gives — and returns an :class:`Outcome` the arbiter's
+transaction support executes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import MechanismError
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A buyer's declared willingness to pay for the good on offer."""
+
+    bidder: str
+    amount: float
+
+    def __post_init__(self):
+        if self.amount < 0:
+            raise MechanismError(
+                f"bid from {self.bidder!r} is negative ({self.amount})"
+            )
+
+
+@dataclass
+class Outcome:
+    """Who wins and what they pay.  ``allocations[bidder]`` is the quantity
+    (or slot index for position auctions) allocated."""
+
+    allocations: dict[str, float] = field(default_factory=dict)
+    payments: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def winners(self) -> list[str]:
+        return sorted(b for b, q in self.allocations.items() if q > 0)
+
+    @property
+    def revenue(self) -> float:
+        return sum(self.payments.values())
+
+    def payment_of(self, bidder: str) -> float:
+        return self.payments.get(bidder, 0.0)
+
+    def won(self, bidder: str) -> bool:
+        return self.allocations.get(bidder, 0.0) > 0
+
+
+class Mechanism(ABC):
+    """An allocation + payment rule."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "mechanism"
+
+    #: True when truthful bidding is a dominant strategy (used by the
+    #: simulator's IC-regret metric to label expected behaviour)
+    incentive_compatible: bool = False
+
+    @abstractmethod
+    def run(self, bids: Sequence[Bid]) -> Outcome:
+        """Clear the market for one good given the submitted bids."""
+
+    @staticmethod
+    def _sorted_bids(bids: Sequence[Bid]) -> list[Bid]:
+        """Bids sorted by amount descending, ties broken by bidder name
+        (deterministic clearing)."""
+        _check_unique(bids)
+        return sorted(bids, key=lambda b: (-b.amount, b.bidder))
+
+
+def _check_unique(bids: Sequence[Bid]) -> None:
+    names = [b.bidder for b in bids]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise MechanismError(f"duplicate bidders: {dupes}")

@@ -1,0 +1,87 @@
+"""Mechanisms for freely replicable goods (infinite supply).
+
+Section 3.2.1: "Because data is freely replicable, it could be trivially
+allocated to anyone who wants it because its supply is infinite.  That is at
+odds with eliciting truthful behavior from buyers...  Mechanisms to trade
+digital goods with infinite supply have been proposed before [Goldberg &
+Hartline et al.].  We are building on these ideas."
+
+* :class:`PostedPriceMechanism` — the trivially truthful baseline: everyone
+  at or above the posted price is served.
+* :class:`RSOPAuction` — Goldberg–Hartline Random Sampling Optimal Price:
+  split bidders in two halves, compute each half's optimal posted price,
+  offer it to the *other* half.  Truthful (your bid never sets your own
+  price) and constant-competitive with optimal fixed-price revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import MechanismError
+from ..pricing import optimal_posted_price
+from .base import Bid, Mechanism, Outcome
+
+
+@dataclass
+class PostedPriceMechanism(Mechanism):
+    """Serve every bidder with bid >= price at exactly the posted price."""
+
+    price: float
+    name: str = "posted"
+    incentive_compatible: bool = True
+
+    def __post_init__(self):
+        if self.price < 0:
+            raise MechanismError("posted price must be non-negative")
+
+    def run(self, bids: Sequence[Bid]) -> Outcome:
+        ranked = self._sorted_bids(bids)
+        winners = [b for b in ranked if b.amount >= self.price]
+        return Outcome(
+            allocations={b.bidder: 1.0 for b in winners},
+            payments={b.bidder: self.price for b in winners},
+        )
+
+
+@dataclass
+class RSOPAuction(Mechanism):
+    """Random Sampling Optimal Price auction for digital goods."""
+
+    seed: int = 0
+    name: str = "rsop"
+    incentive_compatible: bool = True
+
+    def run(self, bids: Sequence[Bid]) -> Outcome:
+        ranked = self._sorted_bids(bids)
+        if not ranked:
+            return Outcome()
+        if len(ranked) == 1:
+            # a lone bidder cannot be priced by a sample: serve at 0
+            return Outcome(
+                allocations={ranked[0].bidder: 1.0},
+                payments={ranked[0].bidder: 0.0},
+            )
+        rng = np.random.default_rng(self.seed)
+        coin = rng.random(len(ranked)) < 0.5
+        group_a = [b for b, c in zip(ranked, coin) if c]
+        group_b = [b for b, c in zip(ranked, coin) if not c]
+        if not group_a or not group_b:
+            # degenerate split: put the first bidder alone in group A
+            group_a, group_b = [ranked[0]], ranked[1:]
+        price_for_b = optimal_posted_price([b.amount for b in group_a]).price
+        price_for_a = optimal_posted_price([b.amount for b in group_b]).price
+        allocations: dict[str, float] = {}
+        payments: dict[str, float] = {}
+        for b in group_a:
+            if b.amount >= price_for_a:
+                allocations[b.bidder] = 1.0
+                payments[b.bidder] = price_for_a
+        for b in group_b:
+            if b.amount >= price_for_b:
+                allocations[b.bidder] = 1.0
+                payments[b.bidder] = price_for_b
+        return Outcome(allocations=allocations, payments=payments)

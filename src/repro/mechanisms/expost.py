@@ -1,0 +1,118 @@
+"""The ex-post elicitation mechanism for exploratory buyers.
+
+Section 3.2.2.2: "Buyers get the data they want before they pay any money
+for it.  After using the data and discovering — a posteriori — how much they
+value the dataset, they pay the corresponding quantity to the arbiter...
+The crucial aspect of the mechanisms we are designing is that they make
+reporting the real value the buyer's preferred strategy."
+
+Implementation: the buyer receives the data and reports a realized value
+``r``; they pay ``α · r``.  With probability ``audit_probability`` the
+arbiter audits the buyer (in a simulation the true value v is observable;
+in practice: usage metering, dispute resolution).  A caught under-reporter
+pays ``penalty_multiplier`` times the evaded amount: α·(v − r)·m.
+
+Expected utility of reporting r <= v:
+
+    U(r) = v − α·r − q·α·(v − r)·m
+         = v − α·v + α·(v − r)·(1 − q·m)
+
+which is maximized at r = v (truthful) whenever q·m >= 1 — the
+:meth:`ExPostMechanism.is_truthful_config` condition benchmark E7 verifies
+empirically.  Over-reporting (r > v) is never profitable since payment
+increases in r.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import MechanismError
+
+
+@dataclass(frozen=True)
+class ExPostReport:
+    buyer: str
+    reported_value: float
+    true_value: float  # observable only under audit / in simulation
+
+    def __post_init__(self):
+        if self.reported_value < 0 or self.true_value < 0:
+            raise MechanismError("values must be non-negative")
+
+
+@dataclass(frozen=True)
+class ExPostCharge:
+    buyer: str
+    base_payment: float
+    audited: bool
+    penalty: float
+
+    @property
+    def total(self) -> float:
+        return self.base_payment + self.penalty
+
+
+@dataclass
+class ExPostMechanism:
+    """Pay-after-use with random audits."""
+
+    payment_share: float = 0.5  # α: fraction of reported value paid
+    audit_probability: float = 0.3  # q
+    penalty_multiplier: float = 4.0  # m
+    name: str = "ex_post"
+
+    def __post_init__(self):
+        if not 0 < self.payment_share <= 1:
+            raise MechanismError("payment_share must be in (0, 1]")
+        if not 0 <= self.audit_probability <= 1:
+            raise MechanismError("audit_probability must be in [0, 1]")
+        if self.penalty_multiplier < 0:
+            raise MechanismError("penalty_multiplier must be non-negative")
+
+    def is_truthful_config(self) -> bool:
+        """q·m >= 1 makes truthful reporting a best response."""
+        return self.audit_probability * self.penalty_multiplier >= 1.0
+
+    def expected_utility(self, true_value: float, reported: float) -> float:
+        """Buyer's expected utility of reporting ``reported`` (<= analysis
+        only covers under/truthful reports; over-reports just pay more)."""
+        if reported < 0 or true_value < 0:
+            raise MechanismError("values must be non-negative")
+        alpha, q, m = (
+            self.payment_share,
+            self.audit_probability,
+            self.penalty_multiplier,
+        )
+        shortfall = max(0.0, true_value - reported)
+        return (
+            true_value
+            - alpha * reported
+            - q * alpha * shortfall * m
+        )
+
+    def charge(
+        self, report: ExPostReport, rng: np.random.Generator
+    ) -> ExPostCharge:
+        """Charge one buyer, flipping the audit coin with ``rng``."""
+        base = self.payment_share * report.reported_value
+        audited = bool(rng.random() < self.audit_probability)
+        penalty = 0.0
+        if audited and report.true_value > report.reported_value + 1e-12:
+            shortfall = report.true_value - report.reported_value
+            penalty = self.payment_share * shortfall * self.penalty_multiplier
+        return ExPostCharge(report.buyer, base, audited, penalty)
+
+    def settle(
+        self, reports: Sequence[ExPostReport], rng: np.random.Generator
+    ) -> list[ExPostCharge]:
+        return [self.charge(r, rng) for r in reports]
+
+    def best_report(self, true_value: float, grid: int = 101) -> float:
+        """Grid-search the buyer's optimal report in [0, v] (analysis aid)."""
+        candidates = np.linspace(0.0, true_value, grid)
+        utilities = [self.expected_utility(true_value, r) for r in candidates]
+        return float(candidates[int(np.argmax(utilities))])

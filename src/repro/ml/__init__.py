@@ -1,0 +1,19 @@
+"""Minimal ML substrate: classifiers + metrics for WTP task packages."""
+
+from .metrics import (
+    accuracy,
+    cross_val_accuracy,
+    precision_recall_f1,
+    train_test_split,
+)
+from .models import DecisionStump, KNNClassifier, LogisticRegression
+
+__all__ = [
+    "LogisticRegression",
+    "KNNClassifier",
+    "DecisionStump",
+    "accuracy",
+    "precision_recall_f1",
+    "train_test_split",
+    "cross_val_accuracy",
+]

@@ -1,0 +1,80 @@
+"""Evaluation metrics and splitting utilities for WTP tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    if y_true.size == 0:
+        raise ValueError("empty label vectors")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+) -> tuple[float, float, float]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic shuffled split -> (x_train, x_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test, train = order[:n_test], order[n_test:]
+    return x[train], x[test], y[train], y[test]
+
+
+def cross_val_accuracy(
+    model_factory,
+    x: np.ndarray,
+    y: np.ndarray,
+    folds: int = 5,
+    seed: int = 0,
+) -> float:
+    """Mean accuracy over k shuffled folds (fresh model per fold)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y)
+    n = x.shape[0]
+    if folds < 2 or folds > n:
+        raise ValueError("folds must be in [2, n_samples]")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    chunks = np.array_split(order, folds)
+    scores = []
+    for i in range(folds):
+        test = chunks[i]
+        train = np.concatenate([chunks[j] for j in range(folds) if j != i])
+        model = model_factory()
+        model.fit(x[train], y[train])
+        scores.append(accuracy(y[test], model.predict(x[test])))
+    return float(np.mean(scores))

@@ -1,0 +1,140 @@
+"""From-scratch classifiers used inside WTP task packages.
+
+The paper's running example is a buyer who ships "the code to train an ML
+classifier" to the arbiter and only pays if the classifier reaches a target
+accuracy.  These minimal numpy models are that code: deterministic, fast, and
+dependency-free, so the WTP evaluator can re-run them on every candidate
+mashup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LogisticRegression:
+    """Binary logistic regression via full-batch gradient descent."""
+
+    learning_rate: float = 0.5
+    epochs: int = 300
+    l2: float = 1e-3
+    weights: np.ndarray | None = field(default=None, repr=False)
+    bias: float = 0.0
+    _mu: np.ndarray | None = field(default=None, repr=False)
+    _sigma: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, k) and y must be (n,)")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        # standardize for stable optimization
+        self._mu = x.mean(axis=0)
+        self._sigma = x.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        xs = (x - self._mu) / self._sigma
+
+        n, k = xs.shape
+        w = np.zeros(k)
+        b = 0.0
+        for _ in range(self.epochs):
+            z = xs @ w + b
+            p = _sigmoid(z)
+            grad_w = xs.T @ (p - y) / n + self.l2 * w
+            grad_b = float(np.mean(p - y))
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights, self.bias = w, b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("model is not fitted")
+        xs = (np.asarray(x, dtype=float) - self._mu) / self._sigma
+        return _sigmoid(xs @ self.weights + self.bias)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(int)
+
+
+@dataclass
+class KNNClassifier:
+    """k-nearest-neighbours with Euclidean distance (majority vote)."""
+
+    k: int = 5
+    _x: np.ndarray | None = field(default=None, repr=False)
+    _y: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise ValueError("x and y must be non-empty and aligned")
+        self._x, self._y = x, y
+        return self
+
+    def neighbours(self, point: np.ndarray) -> np.ndarray:
+        """Indices of the k nearest training points (ties by index)."""
+        d = np.linalg.norm(self._x - point, axis=1)
+        k = min(self.k, len(d))
+        return np.argsort(d, kind="stable")[:k]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ValueError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(x.shape[0], dtype=int)
+        for i, point in enumerate(x):
+            votes = self._y[self.neighbours(point)]
+            out[i] = np.bincount(votes).argmax()
+        return out
+
+
+@dataclass
+class DecisionStump:
+    """One-level decision tree: best single-feature threshold split."""
+
+    feature: int | None = None
+    threshold: float = 0.0
+    left_label: int = 0
+    right_label: int = 1
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionStump":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        best_err = np.inf
+        for j in range(x.shape[1]):
+            values = np.unique(x[:, j])
+            if len(values) > 32:
+                values = np.quantile(values, np.linspace(0.02, 0.98, 32))
+            for t in values:
+                left = x[:, j] <= t
+                for ll, rl in ((0, 1), (1, 0)):
+                    pred = np.where(left, ll, rl)
+                    err = float(np.mean(pred != y))
+                    if err < best_err:
+                        best_err = err
+                        self.feature, self.threshold = j, float(t)
+                        self.left_label, self.right_label = ll, rl
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.feature is None:
+            raise ValueError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        return np.where(
+            x[:, self.feature] <= self.threshold,
+            self.left_label,
+            self.right_label,
+        )
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))

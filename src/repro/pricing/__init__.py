@@ -1,0 +1,58 @@
+"""Pricing: arbitrage-free query pricing, revenue optimization, dynamics."""
+
+from .dynamic import (
+    TatonnementResult,
+    clearing_price_bounds,
+    demand_from_valuations,
+    tatonnement,
+)
+from .privacy_pricing import PrivacyPriceMenu, PrivacyQuote
+from .query_pricing import (
+    ArbitrageFreePricer,
+    NaivePricer,
+    PricedBundle,
+    bundle,
+    exhaustive_arbitrage_search,
+)
+from .versioning import (
+    BuyerType,
+    Version,
+    VersionMenu,
+    design_version_menu,
+    menu_is_incentive_compatible,
+)
+from .revenue_opt import (
+    PostedPriceResult,
+    myerson_reserve,
+    myerson_reserve_exponential,
+    myerson_reserve_uniform,
+    optimal_posted_price,
+    revenue_curve,
+    virtual_value,
+)
+
+__all__ = [
+    "PricedBundle",
+    "bundle",
+    "ArbitrageFreePricer",
+    "NaivePricer",
+    "exhaustive_arbitrage_search",
+    "optimal_posted_price",
+    "PostedPriceResult",
+    "revenue_curve",
+    "virtual_value",
+    "myerson_reserve",
+    "myerson_reserve_uniform",
+    "myerson_reserve_exponential",
+    "tatonnement",
+    "TatonnementResult",
+    "demand_from_valuations",
+    "clearing_price_bounds",
+    "PrivacyPriceMenu",
+    "PrivacyQuote",
+    "BuyerType",
+    "Version",
+    "VersionMenu",
+    "design_version_menu",
+    "menu_is_incentive_compatible",
+]

@@ -1,0 +1,107 @@
+"""Supply–demand price dynamics (tatonnement).
+
+Section 2: "In the markets we envision, the price of a dataset is set by the
+arbiter based on the economic principles of supply and demand.  A dataset
+that lots of buyers want will be priced higher than a dataset that is hardly
+ever requested, regardless of the intrinsic properties of such datasets."
+
+:func:`tatonnement` is the arbiter's price-adjustment loop: excess demand
+raises the price multiplicatively, excess supply lowers it, until the market
+clears.  Benchmark E12 uses it to show prices track *demand*, not intrinsic
+quality — the paper's "value is primarily extrinsic" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import PricingError
+
+
+@dataclass
+class TatonnementResult:
+    price: float
+    converged: bool
+    iterations: int
+    history: list[tuple[float, float]] = field(default_factory=list)
+    #: (price, demand) trajectory
+
+    @property
+    def final_demand(self) -> float:
+        return self.history[-1][1] if self.history else 0.0
+
+
+def tatonnement(
+    demand_fn: Callable[[float], float],
+    supply: float,
+    initial_price: float = 1.0,
+    learning_rate: float = 0.2,
+    max_iterations: int = 500,
+    tolerance: float = 0.01,
+    min_price: float = 1e-6,
+) -> TatonnementResult:
+    """Adjust price until |demand - supply| <= tolerance * max(supply, 1).
+
+    ``demand_fn(price)`` returns quantity demanded at that price (e.g., the
+    number of buyers whose WTP exceeds it).  The update is the classic
+    multiplicative rule  p <- p * (1 + η · (D(p) - S) / max(S, 1)).
+    """
+    if supply < 0:
+        raise PricingError("supply must be non-negative")
+    if initial_price <= 0:
+        raise PricingError("initial price must be positive")
+    if not 0 < learning_rate < 1:
+        raise PricingError("learning rate must be in (0, 1)")
+    price = initial_price
+    history: list[tuple[float, float]] = []
+    band = tolerance * max(supply, 1.0)
+    for iteration in range(1, max_iterations + 1):
+        demand = float(demand_fn(price))
+        history.append((price, demand))
+        excess = demand - supply
+        if abs(excess) <= band:
+            return TatonnementResult(price, True, iteration, history)
+        price = max(
+            min_price,
+            price * (1.0 + learning_rate * excess / max(supply, 1.0)),
+        )
+    return TatonnementResult(price, False, max_iterations, history)
+
+
+def demand_from_valuations(
+    valuations: Sequence[float],
+) -> Callable[[float], float]:
+    """Unit demand: D(p) = number of buyers with valuation >= p."""
+    vals = sorted(float(v) for v in valuations)
+    if not vals:
+        raise PricingError("need at least one valuation")
+
+    def demand(price: float) -> float:
+        # count of vals >= price via binary search
+        lo, hi = 0, len(vals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if vals[mid] < price:
+                lo = mid + 1
+            else:
+                hi = mid
+        return float(len(vals) - lo)
+
+    return demand
+
+
+def clearing_price_bounds(
+    valuations: Sequence[float], supply: int
+) -> tuple[float, float]:
+    """The interval of prices at which exactly ``supply`` buyers buy.
+
+    With unit demand the market-clearing prices for k units lie between the
+    (k+1)-th and k-th highest valuations.
+    """
+    vals = sorted((float(v) for v in valuations), reverse=True)
+    if supply <= 0 or supply > len(vals):
+        raise PricingError("supply must be in [1, n_buyers]")
+    upper = vals[supply - 1]
+    lower = vals[supply] if supply < len(vals) else 0.0
+    return lower, upper

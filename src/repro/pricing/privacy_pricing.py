@@ -1,0 +1,82 @@
+"""The privacy–value connection: pricing ε.
+
+Section 8.2: "The buyer can specify a level of privacy associated with a
+query, in such a way that the higher the privacy level, the less the dataset
+is perturbed, meaning the dataset will be of higher quality.  Therefore, the
+higher the privacy level [ε], the higher the price of the dataset."
+
+:class:`PrivacyPriceMenu` is the seller-side quote generator: a concave,
+increasing price-of-ε curve anchored at the clean-data price, plus the
+inverse query ("what ε does my budget buy?").  Combined with the
+:class:`~repro.privacy.accountant.PrivacyAccountant` it refuses quotes the
+remaining budget cannot honour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PricingError
+from ..privacy import PrivacyAccountant
+
+
+@dataclass(frozen=True)
+class PrivacyQuote:
+    dataset: str
+    epsilon: float
+    price: float
+
+
+@dataclass(frozen=True)
+class PrivacyPriceMenu:
+    """price(ε) = clean_price · ε / (ε + ε_half).
+
+    ``epsilon_half`` is the ε at which the buyer gets half the clean-data
+    price's worth of quality — the single knob a seller tunes.  The curve is
+    increasing and concave with price(∞) = clean_price, matching the
+    intuition that early ε buys the most utility.
+    """
+
+    dataset: str
+    clean_price: float
+    epsilon_half: float = 1.0
+
+    def __post_init__(self):
+        if self.clean_price < 0:
+            raise PricingError("clean price must be non-negative")
+        if self.epsilon_half <= 0:
+            raise PricingError("epsilon_half must be positive")
+
+    def price_for_epsilon(self, epsilon: float) -> float:
+        if epsilon <= 0:
+            raise PricingError("epsilon must be positive")
+        return self.clean_price * epsilon / (epsilon + self.epsilon_half)
+
+    def epsilon_for_budget(self, budget: float) -> float:
+        """Largest ε the budget affords (inverse of the price curve)."""
+        if budget <= 0:
+            raise PricingError("budget must be positive")
+        if budget >= self.clean_price:
+            raise PricingError(
+                "budget covers the clean-data price; buy the data un-noised"
+            )
+        # budget = clean * eps/(eps+h)  =>  eps = h * budget/(clean - budget)
+        return self.epsilon_half * budget / (self.clean_price - budget)
+
+    def quote(
+        self,
+        epsilon: float,
+        accountant: PrivacyAccountant | None = None,
+    ) -> PrivacyQuote:
+        """Produce a quote, checking the privacy budget when given."""
+        if accountant is not None and not accountant.can_spend(
+            self.dataset, epsilon
+        ):
+            raise PricingError(
+                f"dataset {self.dataset!r}: remaining privacy budget "
+                f"{accountant.remaining(self.dataset):g} cannot honour "
+                f"ε={epsilon:g}"
+            )
+        return PrivacyQuote(
+            self.dataset, epsilon, self.price_for_epsilon(epsilon)
+        )

@@ -1,0 +1,211 @@
+"""Arbitrage-free query/bundle pricing.
+
+Section 8.2: "The problem is how to price relational queries on that dataset
+in such a way that arbitrage opportunities (obtaining the same data through
+a different and cheaper combination of queries) are not possible."  The
+paper plans to "include these ideas as part of our design"; this module is
+that inclusion.
+
+Model (a practical instantiation of Koutris et al.'s query-based pricing):
+sellers list *priced bundles* — named sets of atomic information units
+(columns, partitions, views) with a price.  A buyer's query needs some set
+of atoms.  The **arbitrage-free closure** prices a query at the cheapest
+collection of listed bundles that covers it (a weighted set cover).  The
+closure is monotone (more atoms never cost less) and subadditive (a union
+never costs more than its parts) — together these eliminate arbitrage.
+
+A *naive* pricer that charges every listed bundle its sticker price can be
+arbitraged whenever some bundle is dominated by a cheaper cover; benchmark
+E6 hunts for exactly those opportunities under both pricers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence
+
+from ..errors import PricingError
+
+
+@dataclass(frozen=True)
+class PricedBundle:
+    """A named set of atoms offered at a sticker price."""
+
+    name: str
+    atoms: FrozenSet[str]
+    price: float
+
+    def __post_init__(self):
+        if not self.atoms:
+            raise PricingError(f"bundle {self.name!r} has no atoms")
+        if self.price < 0:
+            raise PricingError(f"bundle {self.name!r} has a negative price")
+
+
+def bundle(name: str, atoms: Iterable[str], price: float) -> PricedBundle:
+    return PricedBundle(name, frozenset(atoms), price)
+
+
+class ArbitrageFreePricer:
+    """Prices any atom set at its cheapest cover by listed bundles."""
+
+    def __init__(self, bundles: Sequence[PricedBundle]):
+        if not bundles:
+            raise PricingError("need at least one priced bundle")
+        names = [b.name for b in bundles]
+        if len(set(names)) != len(names):
+            raise PricingError("duplicate bundle names")
+        self.bundles = tuple(bundles)
+        self.universe: FrozenSet[str] = frozenset().union(
+            *(b.atoms for b in bundles)
+        )
+
+    def price(self, atoms: Iterable[str]) -> float:
+        """Minimum-cost cover of ``atoms`` (exact DP over <= 20 atoms)."""
+        cost, _cover = self.price_with_cover(atoms)
+        return cost
+
+    def price_with_cover(
+        self, atoms: Iterable[str]
+    ) -> tuple[float, list[PricedBundle]]:
+        needed = frozenset(atoms)
+        if not needed:
+            return 0.0, []
+        uncoverable = needed - self.universe
+        if uncoverable:
+            raise PricingError(
+                f"atoms {sorted(uncoverable)} are not offered by any bundle"
+            )
+        order = sorted(needed)
+        if len(order) > 20:
+            raise PricingError(
+                f"exact cover over {len(order)} atoms is too large "
+                "(limit 20); partition the query"
+            )
+        index = {a: i for i, a in enumerate(order)}
+        full = (1 << len(order)) - 1
+        bundle_masks = []
+        for b in self.bundles:
+            mask = 0
+            for a in b.atoms & needed:
+                mask |= 1 << index[a]
+            if mask:
+                bundle_masks.append((mask, b))
+        inf = float("inf")
+        dp: list[float] = [inf] * (full + 1)
+        choice: list[tuple[int, PricedBundle] | None] = [None] * (full + 1)
+        dp[0] = 0.0
+        for mask in range(full + 1):
+            if dp[mask] == inf:
+                continue
+            for bmask, b in bundle_masks:
+                nxt = mask | bmask
+                if dp[mask] + b.price < dp[nxt]:
+                    dp[nxt] = dp[mask] + b.price
+                    choice[nxt] = (mask, b)
+        if dp[full] == inf:
+            raise PricingError("no combination of bundles covers the query")
+        cover = []
+        mask = full
+        while mask:
+            prev, b = choice[mask]  # type: ignore[misc]
+            cover.append(b)
+            mask = prev
+        return dp[full], cover
+
+    # -- arbitrage analysis -------------------------------------------------
+    def arbitrage_opportunities(self) -> list[tuple[PricedBundle, float]]:
+        """Listed bundles whose sticker price exceeds their cheapest cover
+        (excluding themselves) — the money a smart buyer saves."""
+        out = []
+        for b in self.bundles:
+            others = [x for x in self.bundles if x.name != b.name]
+            if not others:
+                continue
+            try:
+                alt_cost, _ = ArbitrageFreePricer(others).price_with_cover(
+                    b.atoms
+                )
+            except PricingError:
+                continue
+            if alt_cost < b.price - 1e-12:
+                out.append((b, alt_cost))
+        return out
+
+    def is_arbitrage_free_pricelist(self) -> bool:
+        """True iff no sticker price can be undercut by a cover."""
+        return not self.arbitrage_opportunities()
+
+    def check_monotone_sample(
+        self, atoms: Iterable[str]
+    ) -> bool:
+        """Sanity property: every subset of ``atoms`` costs <= the set."""
+        needed = sorted(frozenset(atoms))
+        total = self.price(needed)
+        for i in range(len(needed)):
+            subset = needed[:i] + needed[i + 1 :]
+            if subset and self.price(subset) > total + 1e-9:
+                return False
+        return True
+
+
+class NaivePricer:
+    """Sticker-price seller: a query must match one listed bundle exactly or
+    be bought as the cheapest single listed superset.  This is how "sellers
+    choose a price for datasets" on today's marketplaces (Section 2) — and
+    it is arbitrageable."""
+
+    def __init__(self, bundles: Sequence[PricedBundle]):
+        if not bundles:
+            raise PricingError("need at least one priced bundle")
+        self.bundles = tuple(bundles)
+
+    def price(self, atoms: Iterable[str]) -> float:
+        needed = frozenset(atoms)
+        if not needed:
+            return 0.0
+        supersets = [b for b in self.bundles if needed <= b.atoms]
+        if not supersets:
+            raise PricingError(
+                "no single listed bundle contains the query; "
+                "the naive seller cannot serve it"
+            )
+        return min(b.price for b in supersets)
+
+
+def exhaustive_arbitrage_search(
+    pricer, universe: Sequence[str], max_atoms: int = 12
+) -> list[tuple[frozenset, float, float]]:
+    """Search all non-empty atom subsets for violations of subadditivity:
+    a set priced higher than the sum of a 2-part partition.  Returns
+    (atom_set, direct_price, cheaper_split_price) triples.
+    """
+    from itertools import combinations
+
+    atoms = sorted(universe)
+    if len(atoms) > max_atoms:
+        raise PricingError(f"universe too large for exhaustive search")
+    violations = []
+    n = len(atoms)
+    for mask in range(1, 1 << n):
+        subset = frozenset(atoms[i] for i in range(n) if mask & (1 << i))
+        try:
+            direct = pricer.price(subset)
+        except PricingError:
+            continue
+        # try all 2-partitions
+        members = sorted(subset)
+        best_split = None
+        for k in range(1, len(members)):
+            for left in combinations(members, k):
+                left_set = frozenset(left)
+                right_set = subset - left_set
+                try:
+                    split = pricer.price(left_set) + pricer.price(right_set)
+                except PricingError:
+                    continue
+                if best_split is None or split < best_split:
+                    best_split = split
+        if best_split is not None and best_split < direct - 1e-9:
+            violations.append((subset, direct, best_split))
+    return violations

@@ -1,0 +1,112 @@
+"""Revenue-optimal posted prices and Myerson reserves.
+
+The external-market design "extracts as much money from buyers as possible"
+(Section 3.3).  For a freely replicable digital good the arbiter's problem
+is a posted price against the buyers' valuation distribution; for an
+auction, Myerson's optimal reserve.  Both are implemented empirically (from
+valuation samples) and analytically (from a distribution's F and f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import PricingError
+
+
+@dataclass(frozen=True)
+class PostedPriceResult:
+    price: float
+    revenue: float
+    buyers_served: int
+
+
+def optimal_posted_price(valuations: Sequence[float]) -> PostedPriceResult:
+    """Empirically optimal take-it-or-leave-it price for unlimited supply.
+
+    Since data is freely replicable the arbiter can serve every buyer with
+    v >= p, so revenue(p) = p * |{v_i >= p}|; the optimum is at one of the
+    observed valuations.
+    """
+    vals = sorted(float(v) for v in valuations if v is not None)
+    if not vals:
+        raise PricingError("need at least one valuation")
+    if vals[0] < 0:
+        raise PricingError("valuations must be non-negative")
+    n = len(vals)
+    best = PostedPriceResult(price=0.0, revenue=0.0, buyers_served=0)
+    for i, p in enumerate(vals):
+        served = n - i  # all buyers with v >= p (vals sorted ascending)
+        revenue = p * served
+        if revenue > best.revenue:
+            best = PostedPriceResult(p, revenue, served)
+    return best
+
+
+def revenue_curve(
+    valuations: Sequence[float], grid: Sequence[float]
+) -> list[tuple[float, float]]:
+    """(price, revenue) samples over a price grid, for plotting/benches."""
+    vals = np.asarray(sorted(valuations), dtype=float)
+    out = []
+    for p in grid:
+        served = int(np.sum(vals >= p))
+        out.append((float(p), float(p) * served))
+    return out
+
+
+def virtual_value(
+    v: float, cdf: Callable[[float], float], pdf: Callable[[float], float]
+) -> float:
+    """Myerson's virtual value φ(v) = v - (1 - F(v)) / f(v)."""
+    density = pdf(v)
+    if density <= 0:
+        raise PricingError(f"pdf must be positive at v={v}")
+    return v - (1.0 - cdf(v)) / density
+
+
+def myerson_reserve(
+    cdf: Callable[[float], float],
+    pdf: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tolerance: float = 1e-9,
+) -> float:
+    """Reserve price r* solving φ(r*) = 0 by bisection on [lo, hi].
+
+    Requires a regular distribution (monotone virtual value), which all the
+    textbook families (uniform, exponential) satisfy.
+    """
+    if hi <= lo:
+        raise PricingError("need hi > lo")
+    f_lo = virtual_value(lo, cdf, pdf)
+    f_hi = virtual_value(hi, cdf, pdf)
+    if f_lo > 0:
+        return lo  # virtual value positive everywhere: no binding reserve
+    if f_hi < 0:
+        raise PricingError("virtual value negative on the whole support")
+    a, b = lo, hi
+    while b - a > tolerance:
+        mid = (a + b) / 2
+        if virtual_value(mid, cdf, pdf) < 0:
+            a = mid
+        else:
+            b = mid
+    return (a + b) / 2
+
+
+def myerson_reserve_uniform(low: float, high: float) -> float:
+    """Closed form for U[low, high]: r* = max(low, high / 2)."""
+    if high <= low or low < 0:
+        raise PricingError("need 0 <= low < high")
+    return max(low, high / 2.0)
+
+
+def myerson_reserve_exponential(rate: float) -> float:
+    """Closed form for Exp(rate): φ(v) = v - 1/rate, so r* = 1/rate."""
+    if rate <= 0:
+        raise PricingError("rate must be positive")
+    return 1.0 / rate

@@ -1,0 +1,144 @@
+"""Versioning information goods (Varian; cited in §2/§8.2 [95, 96]).
+
+"Versioning: the smart way to sell information": a seller with one dataset
+offers *quality-degraded versions* (a sample, a noisier ε-release, a stale
+snapshot) at lower prices so that buyer types self-select.  This module
+solves the classic two-type screening problem on a quality grid:
+
+* the low type's participation (IR) constraint binds:  p_L = u_L(q_L);
+* the high type's self-selection (IC) constraint binds:
+  p_H = u_H(q_H) − [u_H(q_L) − p_L]  (their information rent);
+
+and the seller chooses the low version's quality q_L to maximize expected
+revenue, also considering the degenerate menus (serve only the high type,
+or one version for everyone).  With concave low-type utility the optimum is
+typically interior — deliberately damaging the product raises revenue,
+which is exactly the counterintuitive Varian result the tests pin down.
+
+Quality maps directly onto the platform's degradation knobs: a row-sample
+fraction, a privacy ε (via :class:`~repro.pricing.privacy_pricing`
+curves), or a freshness lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import PricingError
+
+
+@dataclass(frozen=True)
+class BuyerType:
+    """A buyer segment: population share + willingness to pay for quality.
+
+    ``utility(q)`` is the maximum the type pays for quality q ∈ [0, 1];
+    it must be non-decreasing with utility(0) = 0.
+    """
+
+    name: str
+    fraction: float
+    utility: Callable[[float], float]
+
+    def __post_init__(self):
+        if not 0 < self.fraction <= 1:
+            raise PricingError("type fraction must be in (0, 1]")
+        if abs(self.utility(0.0)) > 1e-9:
+            raise PricingError("utility(0) must be 0 (no data, no value)")
+
+
+@dataclass(frozen=True)
+class Version:
+    quality: float
+    price: float
+
+
+@dataclass(frozen=True)
+class VersionMenu:
+    """The menu offered: one version per served type."""
+
+    high: Version | None
+    low: Version | None
+    expected_revenue: float
+    strategy: str  # "screen" | "high_only" | "single_version"
+
+
+def design_version_menu(
+    high: BuyerType,
+    low: BuyerType,
+    grid: int = 201,
+) -> VersionMenu:
+    """Optimal two-type menu over a quality grid.
+
+    ``high`` must value full quality at least as much as ``low``.  Returns
+    the revenue-maximizing choice among screening menus, serving only the
+    high type, and a single full-quality version for everyone.
+    """
+    if high.fraction + low.fraction > 1 + 1e-9:
+        raise PricingError("type fractions must sum to at most 1")
+    if high.utility(1.0) < low.utility(1.0):
+        raise PricingError(
+            "the 'high' type must value full quality at least as much"
+        )
+    # degenerate menu 1: only the high type is served at full quality
+    best = VersionMenu(
+        high=Version(1.0, high.utility(1.0)),
+        low=None,
+        expected_revenue=high.fraction * high.utility(1.0),
+        strategy="high_only",
+    )
+    # degenerate menu 2: one full-quality version priced for everyone
+    single_price = low.utility(1.0)
+    single_revenue = (high.fraction + low.fraction) * single_price
+    if single_revenue > best.expected_revenue:
+        best = VersionMenu(
+            high=Version(1.0, single_price),
+            low=Version(1.0, single_price),
+            expected_revenue=single_revenue,
+            strategy="single_version",
+        )
+    # screening menus: sweep the damaged version's quality
+    for q_low in np.linspace(0.0, 1.0, grid)[1:-1]:
+        p_low = low.utility(float(q_low))  # low IR binds
+        # high's information rent (floored at 0: their IR also binds when
+        # the damaged version is worthless *to them*)
+        rent = max(0.0, high.utility(float(q_low)) - p_low)
+        p_high = high.utility(1.0) - rent  # high IC binds
+        if p_high < p_low - 1e-12:
+            continue  # menu would be upside down
+        if low.utility(1.0) - p_high > 1e-12:
+            continue  # low type would grab the premium version (low IC)
+        revenue = high.fraction * p_high + low.fraction * p_low
+        if revenue > best.expected_revenue + 1e-12:
+            best = VersionMenu(
+                high=Version(1.0, p_high),
+                low=Version(float(q_low), p_low),
+                expected_revenue=revenue,
+                strategy="screen",
+            )
+    return best
+
+
+def menu_is_incentive_compatible(
+    menu: VersionMenu, high: BuyerType, low: BuyerType, tolerance: float = 1e-9
+) -> bool:
+    """Verify IR + IC of a menu for both types (each prefers its version)."""
+
+    def surplus(buyer: BuyerType, version: Version | None) -> float:
+        if version is None:
+            return 0.0
+        return buyer.utility(version.quality) - version.price
+
+    for buyer, mine, other in (
+        (high, menu.high, menu.low),
+        (low, menu.low, menu.high),
+    ):
+        if mine is None:
+            continue
+        if surplus(buyer, mine) < -tolerance:  # IR
+            return False
+        if surplus(buyer, mine) < surplus(buyer, other) - tolerance:  # IC
+            return False
+    return True

@@ -1,0 +1,37 @@
+"""Statistical privacy: DP mechanisms, k-anonymity, budget accounting."""
+
+from .accountant import PrivacyAccountant
+from .dp import (
+    dp_count,
+    dp_histogram,
+    dp_mean,
+    gaussian_mechanism,
+    laplace_mechanism,
+    perturb_numeric_column,
+    randomized_response,
+    rr_unbias,
+)
+from .kanon import (
+    anonymize,
+    equivalence_classes,
+    generalize_numeric,
+    is_k_anonymous,
+    suppress_columns,
+)
+
+__all__ = [
+    "laplace_mechanism",
+    "gaussian_mechanism",
+    "randomized_response",
+    "rr_unbias",
+    "dp_count",
+    "dp_mean",
+    "dp_histogram",
+    "perturb_numeric_column",
+    "anonymize",
+    "is_k_anonymous",
+    "equivalence_classes",
+    "generalize_numeric",
+    "suppress_columns",
+    "PrivacyAccountant",
+]

@@ -1,0 +1,76 @@
+"""Privacy budget accounting across releases.
+
+Because "datasets may leak information when combined with other datasets —
+which is precisely what the arbiter will do as part of the mashup building
+process — the protection process must be coordinated between SMP and AMS"
+(Section 4.2).  The accountant is that coordination point: every DP release
+against a dataset draws from its ε budget (basic sequential composition),
+and the arbiter refuses mashups that would overdraw it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BudgetExhaustedError, PrivacyError
+
+
+@dataclass
+class BudgetEntry:
+    limit: float
+    spent: float = 0.0
+    releases: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> float:
+        return self.limit - self.spent
+
+
+class PrivacyAccountant:
+    """Sequential-composition ε ledger, keyed by dataset name."""
+
+    def __init__(self):
+        self._budgets: dict[str, BudgetEntry] = {}
+
+    def register(self, dataset: str, epsilon_budget: float) -> None:
+        if epsilon_budget <= 0:
+            raise PrivacyError("epsilon budget must be positive")
+        if dataset in self._budgets:
+            raise PrivacyError(f"dataset {dataset!r} already has a budget")
+        self._budgets[dataset] = BudgetEntry(limit=epsilon_budget)
+
+    def __contains__(self, dataset: str) -> bool:
+        return dataset in self._budgets
+
+    def remaining(self, dataset: str) -> float:
+        return self._entry(dataset).remaining
+
+    def spent(self, dataset: str) -> float:
+        return self._entry(dataset).spent
+
+    def can_spend(self, dataset: str, epsilon: float) -> bool:
+        return self._entry(dataset).remaining >= epsilon - 1e-12
+
+    def spend(self, dataset: str, epsilon: float, purpose: str = "") -> None:
+        """Record a release; raise BudgetExhaustedError when over budget."""
+        if epsilon <= 0:
+            raise PrivacyError("cannot spend non-positive epsilon")
+        entry = self._entry(dataset)
+        if entry.remaining < epsilon - 1e-12:
+            raise BudgetExhaustedError(
+                f"dataset {dataset!r}: requested ε={epsilon:g} exceeds "
+                f"remaining budget {entry.remaining:g}"
+            )
+        entry.spent += epsilon
+        entry.releases.append((purpose, epsilon))
+
+    def history(self, dataset: str) -> list[tuple[str, float]]:
+        return list(self._entry(dataset).releases)
+
+    def _entry(self, dataset: str) -> BudgetEntry:
+        try:
+            return self._budgets[dataset]
+        except KeyError:
+            raise PrivacyError(
+                f"dataset {dataset!r} has no registered privacy budget"
+            ) from None

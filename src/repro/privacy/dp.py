@@ -1,0 +1,143 @@
+"""Differential privacy primitives for the seller management platform.
+
+Section 4.2: "the SMP must incorporate some support for the safe release of
+such sensitive datasets", leveraging "the rich literature on differential
+privacy".  We implement the standard mechanisms sellers need before sharing:
+
+* Laplace mechanism (pure ε-DP) and Gaussian mechanism ((ε, δ)-DP),
+* randomized response for binary attributes,
+* DP releases of the aggregate statistics the metadata engine profiles
+  (count, mean, histogram) over relations,
+* a column perturbation helper that produces the noisy dataset a seller
+  actually ships to the arbiter, parameterized by ε so the privacy–value
+  experiment (E8) can sweep it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import PrivacyError
+from ..relation import Relation
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not epsilon > 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+
+
+def laplace_mechanism(
+    value: float, sensitivity: float, epsilon: float, rng: np.random.Generator
+) -> float:
+    """Release ``value`` with Laplace(sensitivity/ε) noise (ε-DP)."""
+    _check_epsilon(epsilon)
+    if sensitivity < 0:
+        raise PrivacyError("sensitivity must be non-negative")
+    return float(value + rng.laplace(0.0, sensitivity / epsilon))
+
+
+def gaussian_mechanism(
+    value: float,
+    sensitivity: float,
+    epsilon: float,
+    delta: float,
+    rng: np.random.Generator,
+) -> float:
+    """Release ``value`` with Gaussian noise ((ε, δ)-DP, classic analysis)."""
+    _check_epsilon(epsilon)
+    if not 0 < delta < 1:
+        raise PrivacyError(f"delta must be in (0, 1), got {delta}")
+    sigma = sensitivity * math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
+    return float(value + rng.normal(0.0, sigma))
+
+
+def randomized_response(
+    value: bool, epsilon: float, rng: np.random.Generator
+) -> bool:
+    """ε-DP randomized response: tell the truth w.p. e^ε/(1+e^ε)."""
+    _check_epsilon(epsilon)
+    p_truth = math.exp(epsilon) / (1.0 + math.exp(epsilon))
+    return bool(value) if rng.random() < p_truth else not bool(value)
+
+
+def rr_unbias(observed_fraction: float, epsilon: float) -> float:
+    """Debias the observed positive fraction of randomized responses."""
+    _check_epsilon(epsilon)
+    p = math.exp(epsilon) / (1.0 + math.exp(epsilon))
+    return (observed_fraction + p - 1.0) / (2.0 * p - 1.0)
+
+
+# -- DP releases over relations -------------------------------------------------
+
+
+def dp_count(
+    relation: Relation, epsilon: float, rng: np.random.Generator
+) -> float:
+    """DP row count (sensitivity 1)."""
+    return laplace_mechanism(float(len(relation)), 1.0, epsilon, rng)
+
+
+def dp_mean(
+    relation: Relation,
+    column: str,
+    epsilon: float,
+    rng: np.random.Generator,
+    lower: float,
+    upper: float,
+) -> float:
+    """DP mean of a clamped numeric column (sensitivity (u-l)/n)."""
+    if upper <= lower:
+        raise PrivacyError("need upper > lower clamp bounds")
+    values = [
+        min(max(float(v), lower), upper)
+        for v in relation.column(column)
+        if v is not None
+    ]
+    if not values:
+        raise PrivacyError(f"column {column!r} has no values to average")
+    sensitivity = (upper - lower) / len(values)
+    return laplace_mechanism(
+        sum(values) / len(values), sensitivity, epsilon, rng
+    )
+
+
+def dp_histogram(
+    relation: Relation,
+    column: str,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """DP histogram over a categorical column (parallel comp., sens. 1)."""
+    _check_epsilon(epsilon)
+    counts: dict[str, int] = {}
+    for v in relation.column(column):
+        if v is None:
+            continue
+        counts[str(v)] = counts.get(str(v), 0) + 1
+    return {
+        k: max(0.0, laplace_mechanism(float(n), 1.0, epsilon, rng))
+        for k, n in counts.items()
+    }
+
+
+def perturb_numeric_column(
+    relation: Relation,
+    column: str,
+    epsilon: float,
+    rng: np.random.Generator,
+    sensitivity: float = 1.0,
+) -> Relation:
+    """The dataset a privacy-conscious seller actually ships: per-value
+    Laplace noise on one numeric column, scaled by sensitivity/ε.
+
+    Higher ε ⇒ less noise ⇒ more useful (and more valuable) data — the
+    privacy–value connection of Section 8.2, exercised by benchmark E8.
+    """
+    _check_epsilon(epsilon)
+    scale = sensitivity / epsilon
+    return relation.map_column(
+        column,
+        lambda v: None if v is None else float(v) + float(rng.laplace(0, scale)),
+    ).renamed(f"{relation.name}@eps={epsilon:g}")

@@ -1,0 +1,126 @@
+"""k-anonymity utilities for PII-bearing datasets.
+
+The seller platform's "Anonymize" box (Fig. 2).  Sellers facing "the risk of
+leaking data" (Section 3.4 FAQ) can suppress direct identifiers and
+generalize quasi-identifiers until every row is indistinguishable from at
+least k-1 others.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PrivacyError
+from ..relation import Column, Relation, Schema
+
+
+def equivalence_classes(
+    relation: Relation, quasi_identifiers: list[str]
+) -> dict[tuple, int]:
+    """Sizes of the groups induced by the quasi-identifier columns."""
+    positions = relation.schema.positions(quasi_identifiers)
+    classes: dict[tuple, int] = {}
+    for row in relation.rows:
+        key = tuple(row[p] for p in positions)
+        classes[key] = classes.get(key, 0) + 1
+    return classes
+
+
+def is_k_anonymous(
+    relation: Relation, quasi_identifiers: list[str], k: int
+) -> bool:
+    if k < 1:
+        raise PrivacyError("k must be >= 1")
+    if len(relation) == 0:
+        return True
+    return min(equivalence_classes(relation, quasi_identifiers).values()) >= k
+
+
+def suppress_columns(relation: Relation, columns: list[str]) -> Relation:
+    """Drop direct identifiers (names, emails) entirely."""
+    return relation.drop(columns)
+
+
+def generalize_numeric(
+    relation: Relation, column: str, bin_width: float
+) -> Relation:
+    """Replace numeric values with their bin label '[lo, hi)'."""
+    if bin_width <= 0:
+        raise PrivacyError("bin width must be positive")
+
+    def to_bin(v):
+        if v is None:
+            return None
+        lo = math.floor(float(v) / bin_width) * bin_width
+        return f"[{lo:g}, {lo + bin_width:g})"
+
+    return relation.map_column(column, to_bin)
+
+
+def anonymize(
+    relation: Relation,
+    quasi_identifiers: list[str],
+    k: int,
+    suppress: list[str] | None = None,
+    max_rounds: int = 12,
+) -> Relation:
+    """Suppress identifiers, then generalize numeric quasi-identifiers with
+    doubling bin widths until k-anonymity holds; finally suppress rows in
+    still-small equivalence classes.
+
+    Raises :class:`PrivacyError` if k exceeds the number of rows.
+    """
+    if k < 1:
+        raise PrivacyError("k must be >= 1")
+    out = relation
+    if suppress:
+        out = suppress_columns(out, suppress)
+    remaining_qis = [q for q in quasi_identifiers if q in out.schema]
+    if k > len(out):
+        raise PrivacyError(
+            f"cannot make {len(out)} rows {k}-anonymous"
+        )
+    numeric_qis = [
+        q for q in remaining_qis if out.schema[q].dtype in ("int", "float")
+    ]
+    widths = {q: _initial_width(out, q) for q in numeric_qis}
+    for _round in range(max_rounds):
+        if is_k_anonymous(out, remaining_qis, k):
+            return out.renamed(relation.name + f"@k={k}")
+        if not numeric_qis:
+            break
+        candidate = out
+        for q in numeric_qis:
+            candidate = generalize_numeric(candidate, q, widths[q])
+            widths[q] *= 2
+        out = candidate
+        numeric_qis = []  # after one generalization pass, only widen via rows
+        if is_k_anonymous(out, remaining_qis, k):
+            return out.renamed(relation.name + f"@k={k}")
+        # keep doubling on the (now string) bins is impossible; fall through
+        break
+    # suppression fallback: drop rows in classes smaller than k
+    classes = equivalence_classes(out, remaining_qis)
+    positions = out.schema.positions(remaining_qis)
+    keep_rows, keep_prov = [], []
+    for row, prov in zip(out.rows, out.provenance):
+        key = tuple(row[p] for p in positions)
+        if classes[key] >= k:
+            keep_rows.append(row)
+            keep_prov.append(prov)
+    schema = Schema([Column(c.name, "any", c.semantic)
+                     for c in out.schema.columns])
+    return Relation(
+        relation.name + f"@k={k}", schema, keep_rows,
+        provenance=keep_prov, validate=False,
+    )
+
+
+def _initial_width(relation: Relation, column: str) -> float:
+    values = [
+        float(v) for v in relation.column(column) if v is not None
+    ]
+    if not values:
+        return 1.0
+    span = max(values) - min(values)
+    return max(span / 8.0, 1e-9)

@@ -1,0 +1,41 @@
+"""Relational substrate: schemas, provenance-carrying relations, CSV I/O."""
+
+from .csvio import read_csv, read_csv_dir, read_csv_text, write_csv
+from .provenance import (
+    ProvExpr,
+    ProvOne,
+    ProvPlus,
+    ProvTimes,
+    ProvToken,
+    boolean_sources,
+    derivation_count,
+    evaluate,
+    plus,
+    source_shares,
+    times,
+    token_shares,
+)
+from .relation import Relation
+from .schema import Column, Schema
+
+__all__ = [
+    "Column",
+    "Schema",
+    "Relation",
+    "ProvExpr",
+    "ProvToken",
+    "ProvOne",
+    "ProvPlus",
+    "ProvTimes",
+    "plus",
+    "times",
+    "evaluate",
+    "token_shares",
+    "source_shares",
+    "boolean_sources",
+    "derivation_count",
+    "read_csv",
+    "read_csv_text",
+    "read_csv_dir",
+    "write_csv",
+]

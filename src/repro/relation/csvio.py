@@ -1,0 +1,117 @@
+"""CSV import/export for relations (no external dependencies).
+
+The seller management platform's data-packaging feature uses these helpers
+to bulk-load datasets from directories of CSV files (the paper's "point to a
+data lake / cloud storage full of files" scenario).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Column, Schema
+
+
+def _parse_cell(text: str):
+    """Best-effort typed parse of a CSV cell ('' -> NULL)."""
+    if text == "":
+        return None
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _column_dtype(values: Iterable) -> str:
+    kinds = set()
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, bool):
+            kinds.add("bool")
+        elif isinstance(v, int):
+            kinds.add("int")
+        elif isinstance(v, float):
+            kinds.add("float")
+        else:
+            kinds.add("str")
+    if not kinds:
+        return "any"
+    if kinds <= {"int"}:
+        return "int"
+    if kinds <= {"int", "float"}:
+        return "float"
+    if len(kinds) == 1:
+        return kinds.pop()
+    return "str"
+
+
+def read_csv_text(name: str, text: str) -> Relation:
+    """Parse CSV text (with a header row) into a typed relation."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header row)") from None
+    raw_rows = [[_parse_cell(cell) for cell in row] for row in reader if row]
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"CSV row arity {len(row)} does not match header {len(header)}"
+            )
+    columns = []
+    for i, col_name in enumerate(header):
+        dtype = _column_dtype(row[i] for row in raw_rows)
+        columns.append(Column(col_name, dtype))
+    # Coerce ints to float in float columns so dtype checks pass uniformly.
+    rows = []
+    for row in raw_rows:
+        fixed = []
+        for col, v in zip(columns, row):
+            if col.dtype == "float" and isinstance(v, int):
+                v = float(v)
+            if col.dtype == "str" and v is not None and not isinstance(v, str):
+                v = str(v)
+            fixed.append(v)
+        rows.append(tuple(fixed))
+    return Relation(name, Schema(columns), rows)
+
+
+def read_csv(path: str, name: str | None = None) -> Relation:
+    """Load one CSV file as a relation named after the file stem."""
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    with open(path, newline="") as f:
+        return read_csv_text(name, f.read())
+
+
+def write_csv(relation: Relation, path: str) -> None:
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(relation.schema.names)
+        for row in relation.rows:
+            writer.writerow(["" if v is None else v for v in row])
+
+
+def read_csv_dir(path: str) -> list[Relation]:
+    """Load every ``*.csv`` under ``path`` (sorted, non-recursive)."""
+    relations = []
+    for entry in sorted(os.listdir(path)):
+        if entry.lower().endswith(".csv"):
+            relations.append(read_csv(os.path.join(path, entry)))
+    return relations

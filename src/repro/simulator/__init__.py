@@ -1,0 +1,75 @@
+"""Market simulator: agents, workloads, engine, coalitions, ecosystem."""
+
+from .actors import Arbitrageur, CollectionReport, OpportunisticSeller
+from .adversary import CollusionResult, simulate_collusion
+from .agents import (
+    STRATEGY_FACTORIES,
+    BuyerAgent,
+    BuyerStrategy,
+    Faulty,
+    Ignorant,
+    Overbidding,
+    RiskLover,
+    Shading,
+    Truthful,
+    make_strategy,
+)
+from .engine import (
+    SimulationConfig,
+    compare_designs,
+    empirical_ic_regret,
+    simulate_mechanism,
+)
+from .fullstack import FullStackResult, simulate_market_deployment
+from .metrics import SimulationMetrics, StrategyStats, gini
+from .streaming import (
+    StreamingBuyer,
+    StreamingMetrics,
+    simulate_streaming_market,
+)
+from .workload import (
+    DISTRIBUTIONS,
+    bimodal_values,
+    build_population,
+    exponential_values,
+    lognormal_values,
+    poisson_arrivals,
+    uniform_values,
+)
+
+__all__ = [
+    "BuyerAgent",
+    "BuyerStrategy",
+    "Truthful",
+    "Shading",
+    "Overbidding",
+    "Ignorant",
+    "RiskLover",
+    "Faulty",
+    "make_strategy",
+    "STRATEGY_FACTORIES",
+    "SimulationConfig",
+    "simulate_mechanism",
+    "empirical_ic_regret",
+    "compare_designs",
+    "SimulationMetrics",
+    "StrategyStats",
+    "gini",
+    "uniform_values",
+    "lognormal_values",
+    "exponential_values",
+    "bimodal_values",
+    "poisson_arrivals",
+    "build_population",
+    "DISTRIBUTIONS",
+    "simulate_collusion",
+    "CollusionResult",
+    "Arbitrageur",
+    "OpportunisticSeller",
+    "CollectionReport",
+    "simulate_streaming_market",
+    "StreamingMetrics",
+    "StreamingBuyer",
+    "simulate_market_deployment",
+    "FullStackResult",
+]

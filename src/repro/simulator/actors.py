@@ -1,0 +1,176 @@
+"""Ecosystem actors beyond plain buyers and sellers (Section 7.1).
+
+* :class:`OpportunisticSeller` — "may not own data, but they have time...
+  Because the arbiter knows that b1 would benefit from attribute ⟨e⟩...
+  the arbiter can ask Seller 3 to obtain a dataset s3 = ⟨e⟩ for money."
+  Implementation: watches the arbiter's open negotiation requests, collects
+  (synthesizes) any attribute in its capability catalog whose bounty covers
+  the collection cost, and registers the new dataset.
+
+* :class:`Arbitrageur` — "play seller and buyer at the same time...  buy
+  certain datasets, transform them, perhaps combining them with certain
+  information they possess, and sell them again."  Implementation: buys a
+  mashup through the normal buyer flow, verifies resale rights on every
+  source license, optionally enriches the relation, and relists it under
+  its own name with a reserve price; profit is tracked on the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import MarketError
+from ..market.arbiter import Arbiter
+from ..market.buyer import BuyerPlatform, DeliveredMashup
+from ..relation import Relation
+from ..wtp import PriceCurve, QueryCompletenessTask, WTPFunction
+
+
+@dataclass
+class CollectionReport:
+    attribute: str
+    dataset: str
+    bounty: float
+    cost: float
+
+    @property
+    def expected_profit(self) -> float:
+        return self.bounty - self.cost
+
+
+class OpportunisticSeller:
+    """Collects datasets on demand, guided by negotiation bounties."""
+
+    def __init__(
+        self,
+        seller_id: str,
+        catalog: Mapping[str, Callable[[], Relation]],
+        collection_cost: float = 1.0,
+    ):
+        if collection_cost < 0:
+            raise MarketError("collection cost must be non-negative")
+        self.seller_id = seller_id
+        self.catalog = dict(catalog)
+        self.collection_cost = collection_cost
+        self.collected: list[CollectionReport] = []
+
+    def scan_and_collect(self, arbiter: Arbiter) -> list[CollectionReport]:
+        """Fulfil every open request we can profitably serve."""
+        reports = []
+        for request in arbiter.negotiation.open_requests():
+            factory = self.catalog.get(request.attribute)
+            if factory is None:
+                continue
+            if request.bounty < self.collection_cost:
+                continue  # not worth the time
+            dataset = factory()
+            if request.attribute not in dataset.schema:
+                raise MarketError(
+                    f"catalog for {request.attribute!r} produced a dataset "
+                    f"without that attribute"
+                )
+            arbiter.accept_dataset(dataset, seller=self.seller_id)
+            arbiter.negotiation.respond_with_dataset(
+                request.request_id, self.seller_id, dataset
+            )
+            report = CollectionReport(
+                attribute=request.attribute,
+                dataset=dataset.name,
+                bounty=request.bounty,
+                cost=self.collection_cost,
+            )
+            self.collected.append(report)
+            reports.append(report)
+        return reports
+
+    def earnings(self, arbiter: Arbiter) -> float:
+        return sum(
+            arbiter.lineage.revenue_of(r.dataset) for r in self.collected
+        )
+
+
+class Arbitrageur:
+    """Buys, transforms, and relists mashups for profit."""
+
+    def __init__(self, actor_id: str):
+        self.actor_id = actor_id
+        self.buyer = BuyerPlatform(actor_id)
+        self.acquisitions: list[DeliveredMashup] = []
+        self.listings: list[str] = []
+
+    def join_market(self, arbiter: Arbiter, funding: float) -> None:
+        arbiter.register_participant(self.actor_id, funding=funding)
+        arbiter.attach_buyer_platform(self.buyer)
+
+    def acquire(
+        self,
+        arbiter: Arbiter,
+        attributes: list[str],
+        wanted_keys: list,
+        max_price: float,
+        key: str = "entity_id",
+    ) -> DeliveredMashup | None:
+        """Buy a mashup of ``attributes`` through the normal buyer flow."""
+        wtp = WTPFunction(
+            buyer=self.actor_id,
+            task=QueryCompletenessTask(
+                wanted_keys=wanted_keys, attributes=attributes, key=key
+            ),
+            curve=PriceCurve.single(0.5, max_price),
+            key=key,
+        )
+        arbiter.submit_wtp(wtp)
+        result = arbiter.run_round()
+        mine = [d for d in result.deliveries if d.buyer == self.actor_id]
+        if not mine:
+            return None
+        delivered = self.buyer.latest
+        self.acquisitions.append(delivered)
+        return delivered
+
+    def relist(
+        self,
+        arbiter: Arbiter,
+        delivered: DeliveredMashup,
+        new_name: str,
+        transform: Callable[[Relation], Relation] | None = None,
+        reserve_price: float = 0.0,
+    ) -> Relation:
+        """Re-offer an acquired mashup (license-checked) as a new dataset."""
+        sources = _sources_from_plan(delivered.plan_description)
+        for dataset in sources:
+            arbiter.licenses.check_resale(dataset, self.actor_id)
+        relation = delivered.relation
+        if transform is not None:
+            relation = transform(relation)
+        relisted = relation.renamed(new_name).with_provenance_root(new_name)
+        arbiter.accept_dataset(
+            relisted, seller=self.actor_id, reserve_price=reserve_price
+        )
+        self.listings.append(new_name)
+        arbiter.audit.append(
+            "arbitrage_relist",
+            {"actor": self.actor_id, "dataset": new_name,
+             "derived_from": sources},
+        )
+        return relisted
+
+    def profit(self, arbiter: Arbiter) -> float:
+        """Resale earnings minus acquisition spending."""
+        earned = sum(
+            arbiter.lineage.revenue_of(name) for name in self.listings
+        )
+        spent = sum(d.price_paid for d in self.acquisitions)
+        return earned - spent
+
+
+def _sources_from_plan(plan_description: str) -> list[str]:
+    """Recover source dataset names from a plan's describe() text."""
+    sources = []
+    for line in plan_description.splitlines():
+        if line.startswith("base: "):
+            sources.append(line.split("base: ", 1)[1].strip())
+        elif line.startswith("join "):
+            sources.append(line.split()[1])
+    return sources

@@ -1,0 +1,111 @@
+"""Adversarial coalitions: bid-suppression collusion.
+
+Section 6.1 requires modelling "adversarial [players], forming coalitions
+with other players to game the market".  The canonical attack on
+second-price-style mechanisms is *bid suppression*: coalition members agree
+that only their highest-value member bids seriously while the rest bid
+zero, deflating the clearing price; the winner then shares the spoils.
+
+:func:`simulate_collusion` measures the attack's effect on arbiter revenue
+and the coalition's joint gain for any mechanism — benchmark E2 sweeps the
+coalition size across mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..mechanisms import Bid, Mechanism
+from .workload import ValueSampler
+
+
+@dataclass
+class CollusionResult:
+    mechanism: str
+    coalition_size: int
+    honest_revenue: float
+    collusive_revenue: float
+    honest_coalition_utility: float
+    collusive_coalition_utility: float
+    rounds: int
+
+    @property
+    def revenue_loss(self) -> float:
+        return self.honest_revenue - self.collusive_revenue
+
+    @property
+    def revenue_loss_fraction(self) -> float:
+        if self.honest_revenue == 0:
+            return 0.0
+        return self.revenue_loss / self.honest_revenue
+
+    @property
+    def coalition_gain(self) -> float:
+        return (
+            self.collusive_coalition_utility - self.honest_coalition_utility
+        )
+
+
+def simulate_collusion(
+    mechanism: Mechanism,
+    value_sampler: ValueSampler,
+    n_buyers: int = 10,
+    coalition_size: int = 3,
+    n_rounds: int = 200,
+    seed: int = 0,
+) -> CollusionResult:
+    """Compare honest rounds with rounds where a coalition suppresses bids.
+
+    The coalition consists of the first ``coalition_size`` buyers each
+    round; under collusion only its highest-value member bids (truthfully),
+    the rest bid zero.  Utilities are pooled over the coalition.
+    """
+    if not 1 <= coalition_size <= n_buyers:
+        raise SimulationError("coalition size must be in [1, n_buyers]")
+    rng = np.random.default_rng(seed)
+    honest_revenue = collusive_revenue = 0.0
+    honest_utility = collusive_utility = 0.0
+    for _ in range(n_rounds):
+        values = [value_sampler(rng) for _ in range(n_buyers)]
+        names = [f"b{i}" for i in range(n_buyers)]
+        coalition = set(names[:coalition_size])
+
+        honest_bids = [Bid(n, v) for n, v in zip(names, values)]
+        outcome = mechanism.run(honest_bids)
+        honest_revenue += outcome.revenue
+        honest_utility += _coalition_utility(outcome, coalition, names, values)
+
+        champion = max(
+            range(coalition_size), key=lambda i: (values[i], -i)
+        )
+        collusive_bids = []
+        for i, (n, v) in enumerate(zip(names, values)):
+            if n in coalition and i != champion:
+                collusive_bids.append(Bid(n, 0.0))
+            else:
+                collusive_bids.append(Bid(n, v))
+        outcome = mechanism.run(collusive_bids)
+        collusive_revenue += outcome.revenue
+        collusive_utility += _coalition_utility(
+            outcome, coalition, names, values
+        )
+    return CollusionResult(
+        mechanism=mechanism.name,
+        coalition_size=coalition_size,
+        honest_revenue=honest_revenue,
+        collusive_revenue=collusive_revenue,
+        honest_coalition_utility=honest_utility,
+        collusive_coalition_utility=collusive_utility,
+        rounds=n_rounds,
+    )
+
+
+def _coalition_utility(outcome, coalition, names, values) -> float:
+    total = 0.0
+    for name, value in zip(names, values):
+        if name in coalition and outcome.won(name):
+            total += value - outcome.payment_of(name)
+    return total

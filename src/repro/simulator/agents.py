@@ -1,0 +1,153 @@
+"""Agent behaviour models for market simulation.
+
+Section 6.1: "rationality assumptions made at design time may break in the
+wild...  that does not account for risk-lover or ignorant players.
+Furthermore, some players may be adversarial in practice, forming coalitions
+with other players to game the market.  Or less dramatic, a faulty piece of
+software may cause erratic behavior."
+
+Each strategy maps a buyer's private value to the bid they actually submit.
+The simulator measures what every market design must survive: how much
+revenue/welfare/incentive-compatibility degrades under each population.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class BuyerStrategy(ABC):
+    """Maps private value -> submitted bid."""
+
+    label: str = "strategy"
+
+    @abstractmethod
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        ...
+
+
+@dataclass
+class Truthful(BuyerStrategy):
+    """Reports the private value exactly — the behaviour IC designs elicit."""
+
+    label: str = "truthful"
+
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        return true_value
+
+
+@dataclass
+class Shading(BuyerStrategy):
+    """Strategically under-bids by a fixed factor (classic demand reduction)."""
+
+    factor: float = 0.7
+    label: str = "shading"
+
+    def __post_init__(self):
+        if not 0 <= self.factor <= 1:
+            raise SimulationError("shading factor must be in [0, 1]")
+
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        return self.factor * true_value
+
+
+@dataclass
+class Overbidding(BuyerStrategy):
+    """Bids above value (spiteful or confused under non-IC rules)."""
+
+    factor: float = 1.3
+    label: str = "overbidding"
+
+    def __post_init__(self):
+        if self.factor < 1:
+            raise SimulationError("overbidding factor must be >= 1")
+
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        return self.factor * true_value
+
+
+@dataclass
+class Ignorant(BuyerStrategy):
+    """Does not know its own value: bids uniformly at random in [0, scale]."""
+
+    scale: float = 100.0
+    label: str = "ignorant"
+
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        return float(rng.uniform(0.0, self.scale))
+
+
+@dataclass
+class RiskLover(BuyerStrategy):
+    """Gambles: mostly shades deeply, occasionally bids far above value."""
+
+    gamble_probability: float = 0.2
+    gamble_factor: float = 2.0
+    label: str = "risk_lover"
+
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        if rng.random() < self.gamble_probability:
+            return self.gamble_factor * true_value
+        return 0.4 * true_value
+
+
+@dataclass
+class Faulty(BuyerStrategy):
+    """Erratic software: sometimes drops the bid, sometimes garbage."""
+
+    failure_probability: float = 0.3
+    label: str = "faulty"
+
+    def bid(self, true_value: float, rng: np.random.Generator) -> float:
+        roll = rng.random()
+        if roll < self.failure_probability / 2:
+            return 0.0  # dropped message
+        if roll < self.failure_probability:
+            return float(rng.uniform(0.0, 10.0 * max(true_value, 1.0)))
+        return true_value
+
+
+@dataclass
+class BuyerAgent:
+    """One simulated buyer: identity + strategy + running utility."""
+
+    name: str
+    strategy: BuyerStrategy
+    utility: float = 0.0
+    wins: int = 0
+    spent: float = 0.0
+
+    def submit(self, true_value: float, rng: np.random.Generator) -> float:
+        return max(0.0, self.strategy.bid(true_value, rng))
+
+    def settle(self, won: bool, true_value: float, payment: float) -> None:
+        if won:
+            self.utility += true_value - payment
+            self.wins += 1
+            self.spent += payment
+
+
+STRATEGY_FACTORIES = {
+    "truthful": Truthful,
+    "shading": Shading,
+    "overbidding": Overbidding,
+    "ignorant": Ignorant,
+    "risk_lover": RiskLover,
+    "faulty": Faulty,
+}
+
+
+def make_strategy(label: str, **kwargs) -> BuyerStrategy:
+    try:
+        factory = STRATEGY_FACTORIES[label]
+    except KeyError:
+        raise SimulationError(
+            f"unknown strategy {label!r}; "
+            f"expected one of {sorted(STRATEGY_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,136 @@
+"""Full-stack market simulation: agent populations on the real DMMS.
+
+Section 6.1 asks for "a simulation platform where it is possible to
+implement different rules and change the behavior of players".  The
+mechanism-level simulator (:mod:`repro.simulator.engine`) isolates the
+allocation/payment rules; this module closes the loop by running strategy
+populations against a complete :class:`~repro.market.arbiter.Arbiter` —
+mashup building, WTP evaluation, licensing, ledger and all — so a market
+design is tested exactly as it would be deployed (Fig. 1: the same design
+object flows from simulation into production).
+
+Buyers draw a private per-round value for a data product and submit a
+completeness WTP whose price step is their *strategy-distorted* bid; the
+arbiter does the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..market.arbiter import Arbiter
+from ..market.design import MarketDesign
+from ..relation import Relation
+from ..wtp import PriceCurve, QueryCompletenessTask, WTPFunction
+from .metrics import StrategyStats, gini
+from .workload import ValueSampler, build_population
+
+
+@dataclass
+class FullStackResult:
+    rounds: int
+    revenue: float
+    transactions: int
+    rejections: int
+    welfare: float  # winners' true values
+    by_strategy: dict[str, StrategyStats] = field(default_factory=dict)
+    seller_balances: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seller_gini(self) -> float:
+        values = [max(v, 0.0) for v in self.seller_balances.values()]
+        return gini(values) if values else 0.0
+
+
+def simulate_market_deployment(
+    design: MarketDesign,
+    datasets: list[Relation],
+    wanted_attributes: list[str],
+    value_sampler: ValueSampler,
+    strategy_mix: dict[str, float],
+    strategy_kwargs: dict[str, dict] | None = None,
+    n_buyers: int = 8,
+    n_rounds: int = 10,
+    satisfaction_threshold: float = 0.5,
+    key: str = "entity_id",
+    seed: int = 0,
+) -> FullStackResult:
+    """Deploy ``design`` on a real arbiter and run agent populations.
+
+    Each round, every agent draws a true value v, submits a completeness
+    WTP bidding ``strategy.bid(v)``, and the arbiter clears the market.
+    Utilities use the *true* values, so strategic distortion shows up as
+    welfare/utility loss exactly as in the mechanism-level simulator.
+    """
+    if n_rounds < 1 or n_buyers < 1:
+        raise SimulationError("need at least one round and one buyer")
+    if not datasets:
+        raise SimulationError("need at least one seller dataset")
+    rng = np.random.default_rng(seed)
+    arbiter = Arbiter(design)
+    for i, dataset in enumerate(datasets):
+        arbiter.accept_dataset(dataset, seller=f"seller_{i}")
+
+    agents = build_population(n_buyers, strategy_mix, strategy_kwargs)
+    funding = 0.0 if design.incentive != "money" else 1e7
+    for agent in agents:
+        arbiter.register_participant(agent.name, funding=funding)
+
+    wanted_keys = sorted(
+        {row[0] for ds in datasets for row in ds.rows}
+    )
+    revenue = welfare = 0.0
+    transactions = rejections = 0
+    for _round in range(n_rounds):
+        true_values = {a.name: value_sampler(rng) for a in agents}
+        for agent in agents:
+            bid = agent.submit(true_values[agent.name], rng)
+            if bid <= 0:
+                continue
+            arbiter.submit_wtp(
+                WTPFunction(
+                    buyer=agent.name,
+                    task=QueryCompletenessTask(
+                        wanted_keys=wanted_keys,
+                        attributes=wanted_attributes,
+                        key=key,
+                    ),
+                    curve=PriceCurve.single(satisfaction_threshold, bid),
+                    key=key,
+                )
+            )
+        result = arbiter.run_round()
+        revenue += result.revenue
+        transactions += result.transactions
+        rejections += len(result.rejections)
+        winners = {d.buyer: d.price_paid for d in result.deliveries}
+        for agent in agents:
+            won = agent.name in winners
+            payment = winners.get(agent.name, 0.0)
+            if won:
+                welfare += true_values[agent.name]
+            agent.settle(won, true_values[agent.name], payment)
+
+    by_strategy: dict[str, StrategyStats] = {}
+    for agent in agents:
+        stats = by_strategy.setdefault(agent.strategy.label, StrategyStats())
+        stats.agents += 1
+        stats.utility += agent.utility
+        stats.wins += agent.wins
+        stats.spent += agent.spent
+    seller_balances = {
+        f"seller_{i}": arbiter.ledger.balance(f"seller_{i}")
+        for i in range(len(datasets))
+    }
+    return FullStackResult(
+        rounds=n_rounds,
+        revenue=revenue,
+        transactions=transactions,
+        rejections=rejections,
+        welfare=welfare,
+        by_strategy=by_strategy,
+        seller_balances=seller_balances,
+    )

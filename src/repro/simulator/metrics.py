@@ -1,0 +1,59 @@
+"""Simulation metrics: revenue, welfare, inequality, IC regret."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass
+class StrategyStats:
+    agents: int = 0
+    utility: float = 0.0
+    wins: int = 0
+    spent: float = 0.0
+
+    @property
+    def mean_utility(self) -> float:
+        return self.utility / self.agents if self.agents else 0.0
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregates one simulation run."""
+
+    rounds: int
+    revenue: float
+    welfare: float  # sum of winners' true values
+    transactions: int
+    by_strategy: dict[str, StrategyStats] = field(default_factory=dict)
+
+    @property
+    def revenue_per_round(self) -> float:
+        return self.revenue / self.rounds if self.rounds else 0.0
+
+    def table_rows(self) -> list[tuple]:
+        """(strategy, agents, mean utility, wins, spent) rows for reports."""
+        return [
+            (label, s.agents, round(s.mean_utility, 3), s.wins,
+             round(s.spent, 2))
+            for label, s in sorted(self.by_strategy.items())
+        ]
+
+
+def gini(values: list[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = equal)."""
+    if not values:
+        raise SimulationError("gini of an empty list")
+    arr = np.sort(np.asarray(values, dtype=float))
+    if np.any(arr < 0):
+        raise SimulationError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = len(arr)
+    index = np.arange(1, n + 1)
+    return float((2 * np.sum(index * arr) / (n * total)) - (n + 1) / n)

@@ -1,0 +1,15 @@
+"""Data sketches: MinHash signatures, LSH indexes, column summaries."""
+
+from .histograms import CategoricalSummary, NumericSummary
+from .lsh import LSHIndex
+from .minhash import MinHash, containment, jaccard_exact, stable_hash
+
+__all__ = [
+    "MinHash",
+    "LSHIndex",
+    "NumericSummary",
+    "CategoricalSummary",
+    "stable_hash",
+    "containment",
+    "jaccard_exact",
+]

@@ -1,0 +1,97 @@
+"""Statistical summaries of columns (the profiler's numeric/categorical view).
+
+Besides MinHash signatures, the metadata engine records per-column summary
+statistics in each context snapshot: numeric columns get moments, range and
+equi-width histograms; categorical columns get cardinality and heavy hitters.
+These feed both discovery ranking and the intrinsic-property constraints in
+WTP functions (e.g. "few missing values").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NumericSummary:
+    """Moments, range and an equi-width histogram of a numeric column."""
+
+    count: int
+    nulls: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    bin_edges: tuple[float, ...]
+    bin_counts: tuple[int, ...]
+
+    @classmethod
+    def of(cls, values: Sequence, bins: int = 10) -> "NumericSummary":
+        nulls = sum(1 for v in values if v is None)
+        data = np.array([float(v) for v in values if v is not None], dtype=float)
+        if data.size == 0:
+            return cls(0, nulls, float("nan"), float("nan"), float("nan"),
+                       float("nan"), (), ())
+        counts, edges = np.histogram(data, bins=bins)
+        return cls(
+            count=int(data.size),
+            nulls=nulls,
+            minimum=float(data.min()),
+            maximum=float(data.max()),
+            mean=float(data.mean()),
+            std=float(data.std()),
+            bin_edges=tuple(float(e) for e in edges),
+            bin_counts=tuple(int(c) for c in counts),
+        )
+
+    def overlap(self, other: "NumericSummary") -> float:
+        """Fraction of this column's range covered by the other's range."""
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        width = self.maximum - self.minimum
+        if width == 0:
+            inside = other.minimum <= self.minimum <= other.maximum
+            return 1.0 if inside else 0.0
+        lo = max(self.minimum, other.minimum)
+        hi = min(self.maximum, other.maximum)
+        if hi <= lo:
+            return 0.0
+        return (hi - lo) / width
+
+
+@dataclass(frozen=True)
+class CategoricalSummary:
+    """Cardinality and heavy hitters of a categorical column."""
+
+    count: int
+    nulls: int
+    distinct: int
+    top: tuple[tuple[str, int], ...] = field(default=())
+
+    @classmethod
+    def of(cls, values: Sequence, top_k: int = 10) -> "CategoricalSummary":
+        nulls = 0
+        freq: dict[str, int] = {}
+        for v in values:
+            if v is None:
+                nulls += 1
+                continue
+            key = str(v)
+            freq[key] = freq.get(key, 0) + 1
+        top = tuple(
+            sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+        )
+        return cls(
+            count=len(values) - nulls,
+            nulls=nulls,
+            distinct=len(freq),
+            top=top,
+        )
+
+    @property
+    def null_fraction(self) -> float:
+        total = self.count + self.nulls
+        return self.nulls / total if total else 0.0

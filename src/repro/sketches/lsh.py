@@ -1,0 +1,86 @@
+"""Locality-sensitive hashing index over MinHash signatures.
+
+Used by the index builder to find all column pairs whose estimated Jaccard
+similarity exceeds a threshold without comparing every pair — the classic
+banding construction: signatures are cut into ``bands`` bands of ``rows``
+rows; two signatures collide if any band matches exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+from .minhash import MinHash
+
+
+class LSHIndex:
+    """Banded LSH index mapping keys to MinHash signatures."""
+
+    def __init__(self, num_perm: int = 64, bands: int = 16):
+        if num_perm % bands != 0:
+            raise ValueError(
+                f"num_perm ({num_perm}) must be divisible by bands ({bands})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self._buckets: list[dict[tuple, list[Hashable]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._signatures: dict[Hashable, MinHash] = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._signatures
+
+    def add(self, key: Hashable, signature: MinHash) -> None:
+        if signature.num_perm != self.num_perm:
+            raise ValueError("signature width does not match index")
+        if key in self._signatures:
+            raise KeyError(f"key {key!r} already indexed")
+        self._signatures[key] = signature
+        for band, bucket in enumerate(self._buckets):
+            lo = band * self.rows
+            band_key = tuple(signature.signature[lo : lo + self.rows])
+            bucket[band_key].append(key)
+
+    def query(self, signature: MinHash, min_jaccard: float = 0.0) -> list[tuple[Hashable, float]]:
+        """Candidate keys colliding with ``signature``, with their estimated
+        Jaccard similarity, filtered by ``min_jaccard`` and sorted best-first.
+        """
+        candidates: set[Hashable] = set()
+        for band, bucket in enumerate(self._buckets):
+            lo = band * self.rows
+            band_key = tuple(signature.signature[lo : lo + self.rows])
+            candidates.update(bucket.get(band_key, ()))
+        scored = []
+        for key in candidates:
+            sim = signature.jaccard(self._signatures[key])
+            if sim >= min_jaccard:
+                scored.append((key, sim))
+        scored.sort(key=lambda kv: (-kv[1], str(kv[0])))
+        return scored
+
+    def similar_pairs(self, min_jaccard: float = 0.5) -> list[tuple[Hashable, Hashable, float]]:
+        """All indexed pairs whose estimated similarity >= threshold."""
+        seen: set[frozenset] = set()
+        out = []
+        for bucket in self._buckets:
+            for keys in bucket.values():
+                for i, a in enumerate(keys):
+                    for b in keys[i + 1 :]:
+                        pair = frozenset((a, b))
+                        if pair in seen:
+                            continue
+                        seen.add(pair)
+                        sim = self._signatures[a].jaccard(self._signatures[b])
+                        if sim >= min_jaccard:
+                            out.append((a, b, sim))
+        out.sort(key=lambda t: (-t[2], str(t[0]), str(t[1])))
+        return out
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._signatures.keys()

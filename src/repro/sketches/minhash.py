@@ -1,0 +1,102 @@
+"""MinHash signatures for set-overlap estimation.
+
+The metadata engine summarizes every column with a MinHash signature (the
+paper's "signatures of its contents", Section 5.1); the index builder then
+estimates Jaccard similarity between columns from the signatures alone to
+propose join candidates without scanning raw data.
+
+Hashing is based on BLAKE2b so signatures are deterministic across processes
+(Python's builtin ``hash`` is salted per-process and unsuitable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+#: modulus for universal hashing; small enough that a*h+b fits in int64
+_PRIME = (1 << 31) - 1
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic hash of a value's canonical string form, in [0, 2^31)."""
+    data = repr(value).encode()
+    h = int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+    return h % _PRIME
+
+
+class MinHash:
+    """A fixed-width MinHash signature over a set of values."""
+
+    __slots__ = ("num_perm", "_a", "_b", "signature", "count")
+
+    def __init__(self, num_perm: int = 64, seed: int = 7):
+        if num_perm < 1:
+            raise ValueError("num_perm must be >= 1")
+        self.num_perm = num_perm
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _PRIME, size=num_perm, dtype=np.int64)
+        self._b = rng.integers(0, _PRIME, size=num_perm, dtype=np.int64)
+        self.signature = np.full(num_perm, _PRIME, dtype=np.int64)
+        self.count = 0
+
+    def update(self, value: object) -> None:
+        self.update_many([value])
+
+    def update_many(self, values: Iterable[object]) -> None:
+        hashes = np.fromiter(
+            (stable_hash(v) for v in values), dtype=np.int64
+        )
+        if hashes.size == 0:
+            return
+        # (k, n) matrix of universal hashes; min over values per permutation.
+        hashed = (self._a[:, None] * hashes[None, :] + self._b[:, None]) % _PRIME
+        np.minimum(self.signature, hashed.min(axis=1), out=self.signature)
+        self.count += int(hashes.size)
+
+    @classmethod
+    def of(
+        cls, values: Iterable[object], num_perm: int = 64, seed: int = 7
+    ) -> "MinHash":
+        mh = cls(num_perm=num_perm, seed=seed)
+        mh.update_many(values)
+        return mh
+
+    def jaccard(self, other: "MinHash") -> float:
+        """Estimated Jaccard similarity with another signature."""
+        if self.num_perm != other.num_perm:
+            raise ValueError("signatures have different widths")
+        if self.count == 0 and other.count == 0:
+            return 1.0
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        return float(np.mean(self.signature == other.signature))
+
+    def merge(self, other: "MinHash") -> "MinHash":
+        """Signature of the union of both underlying sets."""
+        if self.num_perm != other.num_perm:
+            raise ValueError("signatures have different widths")
+        merged = MinHash.__new__(MinHash)
+        merged.num_perm = self.num_perm
+        merged._a, merged._b = self._a, self._b
+        merged.signature = np.minimum(self.signature, other.signature)
+        merged.count = self.count + other.count
+        return merged
+
+    def digest(self) -> tuple[int, ...]:
+        return tuple(int(v) for v in self.signature)
+
+
+def containment(small: set, big: set) -> float:
+    """Exact containment |small ∩ big| / |small| (used as ground truth)."""
+    if not small:
+        return 0.0
+    return len(small & big) / len(small)
+
+
+def jaccard_exact(a: set, b: set) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)

@@ -1,0 +1,27 @@
+"""Revenue allocation: coalition games, Shapley estimators, the core."""
+
+from .core import in_core, least_core
+from .game import CoalitionGame, efficiency_gap, normalize_to_total
+from .knn_shapley import knn_shapley, knn_utility
+from .shapley import (
+    exact_shapley,
+    leave_one_out,
+    monte_carlo_shapley,
+    shapley_error,
+    truncated_monte_carlo_shapley,
+)
+
+__all__ = [
+    "CoalitionGame",
+    "efficiency_gap",
+    "normalize_to_total",
+    "exact_shapley",
+    "monte_carlo_shapley",
+    "truncated_monte_carlo_shapley",
+    "leave_one_out",
+    "shapley_error",
+    "least_core",
+    "in_core",
+    "knn_shapley",
+    "knn_utility",
+]

@@ -1,0 +1,92 @@
+"""The (least) core: an alternative coalition-stable revenue allocation.
+
+Section 8.2 cites work suggesting "a different metric, the core, which is
+also apt for coalitional games".  The least core minimizes the worst
+coalition's incentive to defect:
+
+    minimize  e
+    s.t.      sum_i x_i = v(N)
+              sum_{i in S} x_i >= v(S) - e   for every S ⊂ N, S ≠ ∅
+
+solved as a linear program (scipy linprog, HiGHS).  Feasible only for small
+player counts (2^n constraints) — exactly the regime revenue allocation over
+mashup-contributing datasets lives in.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import ValuationError
+from .game import CoalitionGame
+
+
+def least_core(
+    game: CoalitionGame, max_players: int = 12
+) -> tuple[dict[str, float], float]:
+    """Return (allocation, e*) where e* is the least-core excess."""
+    n = game.n
+    if n > max_players:
+        raise ValuationError(
+            f"least core over {n} players needs 2^{n} constraints"
+        )
+    players = list(game.players)
+    index = {p: i for i, p in enumerate(players)}
+    grand_value = game.value(game.grand_coalition)
+
+    # variables: x_0..x_{n-1}, e  -> minimize e
+    c = np.zeros(n + 1)
+    c[-1] = 1.0
+
+    a_ub, b_ub = [], []
+    for size in range(1, n):
+        for subset in itertools.combinations(players, size):
+            # -sum_{i in S} x_i - e <= -v(S)
+            row = np.zeros(n + 1)
+            for p in subset:
+                row[index[p]] = -1.0
+            row[-1] = -1.0
+            a_ub.append(row)
+            b_ub.append(-game.value(frozenset(subset)))
+
+    a_eq = [np.ones(n + 1)]
+    a_eq[0][-1] = 0.0
+    b_eq = [grand_value]
+
+    bounds = [(None, None)] * n + [(0.0, None)]
+    result = linprog(
+        c,
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq),
+        b_eq=np.array(b_eq),
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise ValuationError(f"least-core LP failed: {result.message}")
+    allocation = {p: float(result.x[index[p]]) for p in players}
+    return allocation, float(result.x[-1])
+
+
+def in_core(
+    game: CoalitionGame,
+    allocation: dict[str, float],
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check core membership: efficient + no coalition can do better alone."""
+    if set(allocation) != set(game.players):
+        raise ValuationError("allocation must cover exactly the players")
+    total = sum(allocation.values())
+    if abs(total - game.value(game.grand_coalition)) > tolerance:
+        return False
+    players = list(game.players)
+    for size in range(1, len(players)):
+        for subset in itertools.combinations(players, size):
+            payoff = sum(allocation[p] for p in subset)
+            if payoff < game.value(frozenset(subset)) - tolerance:
+                return False
+    return True

@@ -1,0 +1,83 @@
+"""Cooperative-game abstraction for revenue allocation.
+
+Section 3.2.3 models revenue allocation "as if each row in m was an agent
+cooperating together with all other rows to form m"; prior work applies the
+Shapley value to "the involved datasets participat[ing] in a coalition".
+:class:`CoalitionGame` is that abstraction: a player set (datasets, rows,
+sellers) plus a characteristic function v(S), memoized because v is usually
+expensive (it re-runs a WTP task on a sub-mashup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, Sequence
+
+from ..errors import ValuationError
+
+Coalition = FrozenSet[str]
+
+
+@dataclass
+class CoalitionGame:
+    """Players + memoized characteristic function."""
+
+    players: tuple[str, ...]
+    _value_fn: Callable[[Coalition], float]
+    _cache: dict[Coalition, float] = field(default_factory=dict)
+    evaluations: int = 0
+
+    @classmethod
+    def of(
+        cls, players: Sequence[str], value_fn: Callable[[Coalition], float]
+    ) -> "CoalitionGame":
+        players = tuple(players)
+        if len(set(players)) != len(players):
+            raise ValuationError("duplicate player names")
+        if not players:
+            raise ValuationError("a game needs at least one player")
+        return cls(players, value_fn)
+
+    @property
+    def n(self) -> int:
+        return len(self.players)
+
+    @property
+    def grand_coalition(self) -> Coalition:
+        return frozenset(self.players)
+
+    def value(self, coalition: Iterable[str]) -> float:
+        key = frozenset(coalition)
+        unknown = key - set(self.players)
+        if unknown:
+            raise ValuationError(f"unknown players {sorted(unknown)}")
+        if key not in self._cache:
+            self._cache[key] = float(self._value_fn(key))
+            self.evaluations += 1
+        return self._cache[key]
+
+    def marginal(self, player: str, coalition: Iterable[str]) -> float:
+        base = frozenset(coalition) - {player}
+        return self.value(base | {player}) - self.value(base)
+
+
+def efficiency_gap(game: CoalitionGame, allocation: dict[str, float]) -> float:
+    """|sum(allocation) - v(N)| — zero for efficient allocations."""
+    return abs(sum(allocation.values()) - game.value(game.grand_coalition))
+
+
+def normalize_to_total(
+    allocation: dict[str, float], total: float
+) -> dict[str, float]:
+    """Rescale non-negative parts of an allocation to sum to ``total``.
+
+    Used by the revenue engine: Shapley shares of *utility* become shares of
+    *money*.  Negative shares (players that hurt the coalition) are floored
+    at zero before rescaling — sellers never owe money for contributing.
+    """
+    clipped = {k: max(0.0, v) for k, v in allocation.items()}
+    s = sum(clipped.values())
+    if s <= 0:
+        n = len(clipped)
+        return {k: total / n for k in clipped}
+    return {k: total * v / s for k, v in clipped.items()}

@@ -1,0 +1,123 @@
+"""Shapley-value estimators for revenue allocation.
+
+"Within this framework, the Shapley value has been used to allocate revenue
+to each row individually...  We are investigating alternative approaches
+that are more computationally efficient and maintain the good properties
+conferred by the Shapley value" (Section 3.2.3).  This module provides the
+exact value and the standard efficient approximations the paper's citations
+use (permutation Monte Carlo, and Ghorbani & Zou's truncated Monte Carlo);
+benchmark E3 compares their cost/error trade-offs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..errors import ValuationError
+from .game import CoalitionGame
+
+
+def exact_shapley(game: CoalitionGame, max_players: int = 16) -> dict[str, float]:
+    """Exact Shapley value by subset enumeration — O(2^n · n).
+
+    Refuses games beyond ``max_players`` (the "practical" requirement of
+    Section 3.1: market designs must be computationally efficient).
+    """
+    n = game.n
+    if n > max_players:
+        raise ValuationError(
+            f"exact Shapley over {n} players needs 2^{n} evaluations; "
+            f"use monte_carlo_shapley instead"
+        )
+    players = game.players
+    shapley = {p: 0.0 for p in players}
+    others = {
+        p: [q for q in players if q != p] for p in players
+    }
+    # precompute weights |S|! (n-|S|-1)! / n!
+    weights = [
+        math.factorial(s) * math.factorial(n - s - 1) / math.factorial(n)
+        for s in range(n)
+    ]
+    for p in players:
+        for size in range(n):
+            for subset in itertools.combinations(others[p], size):
+                s = frozenset(subset)
+                marginal = game.value(s | {p}) - game.value(s)
+                shapley[p] += weights[size] * marginal
+    return shapley
+
+
+def monte_carlo_shapley(
+    game: CoalitionGame,
+    n_permutations: int = 200,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Permutation-sampling estimator: unbiased, O(n) evals per permutation."""
+    if n_permutations < 1:
+        raise ValuationError("need at least one permutation")
+    rng = np.random.default_rng(seed)
+    players = list(game.players)
+    totals = {p: 0.0 for p in players}
+    for _ in range(n_permutations):
+        order = list(rng.permutation(players))
+        prefix: set[str] = set()
+        prev = game.value(frozenset())
+        for p in order:
+            prefix.add(p)
+            current = game.value(frozenset(prefix))
+            totals[p] += current - prev
+            prev = current
+    return {p: t / n_permutations for p, t in totals.items()}
+
+
+def truncated_monte_carlo_shapley(
+    game: CoalitionGame,
+    n_permutations: int = 200,
+    truncation_tolerance: float = 0.01,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Ghorbani & Zou's TMC-Shapley: stop scanning a permutation once the
+    running coalition's value is within ``truncation_tolerance`` of v(N) —
+    the remaining players' marginals are set to zero for that permutation.
+    """
+    if n_permutations < 1:
+        raise ValuationError("need at least one permutation")
+    rng = np.random.default_rng(seed)
+    players = list(game.players)
+    full_value = game.value(game.grand_coalition)
+    threshold = truncation_tolerance * max(abs(full_value), 1e-12)
+    totals = {p: 0.0 for p in players}
+    for _ in range(n_permutations):
+        order = list(rng.permutation(players))
+        prefix: set[str] = set()
+        prev = game.value(frozenset())
+        for p in order:
+            if abs(full_value - prev) <= threshold:
+                break  # truncate: remaining marginals ≈ 0
+            prefix.add(p)
+            current = game.value(frozenset(prefix))
+            totals[p] += current - prev
+            prev = current
+    return {p: t / n_permutations for p, t in totals.items()}
+
+
+def shapley_error(
+    estimate: dict[str, float], exact: dict[str, float]
+) -> float:
+    """Mean absolute error between two allocations over shared players."""
+    keys = set(estimate) & set(exact)
+    if not keys:
+        raise ValuationError("allocations share no players")
+    return sum(abs(estimate[k] - exact[k]) for k in keys) / len(keys)
+
+
+def leave_one_out(game: CoalitionGame) -> dict[str, float]:
+    """LOO values: v(N) - v(N \\ {i}).  Cheap (n+1 evals) but ignores
+    synergies — the classic baseline the Shapley literature improves on."""
+    grand = game.grand_coalition
+    full = game.value(grand)
+    return {p: full - game.value(grand - {p}) for p in game.players}

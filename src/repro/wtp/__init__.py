@@ -1,0 +1,23 @@
+"""Willing-to-pay functions, price curves, and data tasks."""
+
+from .tasks import (
+    AggregateAccuracyTask,
+    ClassificationTask,
+    EmbeddingSimilarityTask,
+    ExplorationTask,
+    QueryCompletenessTask,
+    TaskEvaluationError,
+)
+from .wtp import IntrinsicRequirements, PriceCurve, WTPFunction
+
+__all__ = [
+    "WTPFunction",
+    "PriceCurve",
+    "IntrinsicRequirements",
+    "ClassificationTask",
+    "QueryCompletenessTask",
+    "AggregateAccuracyTask",
+    "EmbeddingSimilarityTask",
+    "ExplorationTask",
+    "TaskEvaluationError",
+]

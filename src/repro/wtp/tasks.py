@@ -1,0 +1,250 @@
+"""Data tasks shipped inside WTP functions.
+
+Section 3.2.2.1: the WTP-function contains "a package that includes the data
+task that buyers want to solve — for example, the code to train an ML
+classifier.  The package is sent to the arbiter, so the arbiter can evaluate
+different datasets on the data task and measure the degree of satisfaction."
+
+Each task implements ``evaluate(relation) -> satisfaction in [0, 1]`` and
+declares the attributes it needs, so the arbiter can turn the task into a
+:class:`~repro.integration.dod.MashupRequest`.  Different tasks use
+different satisfaction metrics (the paper's "task multiplicity"):
+classification accuracy, query completeness, aggregate accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import MarketError
+from ..ml import LogisticRegression, accuracy, train_test_split
+from ..relation import Relation
+
+
+class TaskEvaluationError(MarketError):
+    """The task could not be evaluated on the given relation."""
+
+
+@dataclass
+class ClassificationTask:
+    """Train a classifier on the mashup joined with the buyer's labels.
+
+    The buyer owns ``labels`` (Section 3.2.2.1's "packaged data that buyers
+    may already own and do not want to pay money for"); the mashup must
+    supply ``features``.  Satisfaction is held-out accuracy.
+    """
+
+    labels: Relation
+    features: Sequence[str]
+    key: str = "entity_id"
+    label_column: str = "label"
+    model_factory: Callable = LogisticRegression
+    test_fraction: float = 0.3
+    seed: int = 0
+    min_rows: int = 10
+
+    @property
+    def required_attributes(self) -> list[str]:
+        return list(self.features)
+
+    def evaluate(self, relation: Relation) -> float:
+        available = [f for f in self.features if f in relation.schema]
+        if not available:
+            raise TaskEvaluationError(
+                "mashup supplies none of the requested features"
+            )
+        if self.key not in relation.schema:
+            raise TaskEvaluationError(f"mashup lacks key column {self.key!r}")
+        joined = self.labels.join(relation, on=[(self.key, self.key)])
+        rows = []
+        for rec in joined.to_dicts():
+            vals = [rec.get(f) for f in available]
+            label = rec.get(self.label_column)
+            if label is None or any(
+                v is None or not isinstance(v, (int, float)) for v in vals
+            ):
+                continue
+            rows.append(([float(v) for v in vals], int(label)))
+        if len(rows) < self.min_rows:
+            raise TaskEvaluationError(
+                f"only {len(rows)} usable training rows (need {self.min_rows})"
+            )
+        x = np.array([r[0] for r in rows], dtype=float)
+        y = np.array([r[1] for r in rows], dtype=int)
+        if len(set(y.tolist())) < 2:
+            raise TaskEvaluationError("labels are degenerate (single class)")
+        x_tr, x_te, y_tr, y_te = train_test_split(
+            x, y, test_fraction=self.test_fraction, seed=self.seed
+        )
+        model = self.model_factory()
+        model.fit(x_tr, y_tr)
+        return accuracy(y_te, model.predict(x_te))
+
+
+@dataclass
+class QueryCompletenessTask:
+    """Satisfaction = completeness of requested entities/attributes.
+
+    An approximate-query-processing-style metric (Section 3.2.2.1 cites
+    "notions of completeness borrowed from the approximate query processing
+    literature"): the fraction of wanted key values present in the mashup,
+    discounted by per-row attribute completeness.
+    """
+
+    wanted_keys: Sequence
+    attributes: Sequence[str]
+    key: str = "entity_id"
+
+    @property
+    def required_attributes(self) -> list[str]:
+        return list(self.attributes)
+
+    def evaluate(self, relation: Relation) -> float:
+        if self.key not in relation.schema:
+            raise TaskEvaluationError(f"mashup lacks key column {self.key!r}")
+        wanted = set(self.wanted_keys)
+        if not wanted:
+            raise TaskEvaluationError("no wanted keys specified")
+        present = [a for a in self.attributes if a in relation.schema]
+        if not present:
+            raise TaskEvaluationError("mashup supplies no requested attribute")
+        key_pos = relation.schema.position(self.key)
+        attr_pos = [relation.schema.position(a) for a in present]
+        best_per_key: dict[object, float] = {}
+        for row in relation.rows:
+            k = row[key_pos]
+            if k not in wanted:
+                continue
+            filled = sum(1 for p in attr_pos if row[p] is not None)
+            completeness = filled / len(self.attributes)
+            best_per_key[k] = max(best_per_key.get(k, 0.0), completeness)
+        return sum(best_per_key.values()) / len(wanted)
+
+
+@dataclass
+class AggregateAccuracyTask:
+    """Satisfaction = 1 - relative error of an aggregate vs a reference.
+
+    Models report-style buyers: "I need the mean of X; I'll pay in
+    proportion to how close your data gets me to the truth I can verify."
+    """
+
+    attribute: str
+    reference_value: float
+    aggregate: str = "mean"  # mean | sum | count
+
+    @property
+    def required_attributes(self) -> list[str]:
+        return [self.attribute]
+
+    def evaluate(self, relation: Relation) -> float:
+        if self.attribute not in relation.schema:
+            raise TaskEvaluationError(
+                f"mashup lacks attribute {self.attribute!r}"
+            )
+        values = [
+            float(v) for v in relation.column(self.attribute)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        if not values:
+            raise TaskEvaluationError("no numeric values to aggregate")
+        if self.aggregate == "mean":
+            got = sum(values) / len(values)
+        elif self.aggregate == "sum":
+            got = sum(values)
+        elif self.aggregate == "count":
+            got = float(len(values))
+        else:
+            raise TaskEvaluationError(
+                f"unknown aggregate {self.aggregate!r}"
+            )
+        denom = max(abs(self.reference_value), 1e-12)
+        return max(0.0, 1.0 - abs(got - self.reference_value) / denom)
+
+
+@dataclass
+class EmbeddingSimilarityTask:
+    """Satisfaction = mean cosine similarity to reference embeddings.
+
+    Section 4.5 targets markets for "embeddings and ML models": pre-trained
+    vectors whose quality degrades under quantization/truncation.  The
+    buyer owns trusted reference vectors for a few entities (``references``
+    has the key plus the embedding columns); a candidate mashup's
+    embeddings are scored by how closely they match on the shared
+    entities — full-precision vectors score ~1.0, degraded versions less.
+    """
+
+    references: Relation
+    embedding_columns: Sequence[str]
+    key: str = "entity_id"
+    min_rows: int = 5
+
+    @property
+    def required_attributes(self) -> list[str]:
+        return list(self.embedding_columns)
+
+    def evaluate(self, relation: Relation) -> float:
+        if self.key not in relation.schema:
+            raise TaskEvaluationError(f"mashup lacks key column {self.key!r}")
+        missing = [
+            c for c in self.embedding_columns if c not in relation.schema
+        ]
+        if missing:
+            raise TaskEvaluationError(
+                f"mashup lacks embedding columns {missing}"
+            )
+        joined = self.references.join(
+            relation, on=[(self.key, self.key)], suffix="__cand"
+        )
+        sims = []
+        for rec in joined.to_dicts():
+            ref, cand = [], []
+            for col in self.embedding_columns:
+                r = rec.get(col)
+                c = rec.get(col + "__cand")
+                if r is None or c is None:
+                    break
+                ref.append(float(r))
+                cand.append(float(c))
+            else:
+                sims.append(_cosine(np.array(ref), np.array(cand)))
+        if len(sims) < self.min_rows:
+            raise TaskEvaluationError(
+                f"only {len(sims)} comparable embeddings "
+                f"(need {self.min_rows})"
+            )
+        # cosine lives in [-1, 1]; map to [0, 1] satisfaction
+        return float((np.mean(sims) + 1.0) / 2.0)
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+@dataclass
+class ExplorationTask:
+    """A task whose value the buyer only learns *after* using the data.
+
+    Section 3.2.2.2: "buyers want to engage in exploratory tasks with data
+    without having a precisely defined question a priori... it is not
+    possible for the buyer to describe the task they are trying to solve."
+    Evaluating it upfront is a :class:`TaskEvaluationError`; markets must
+    route these buyers through the ex-post mechanism instead.
+    """
+
+    attributes: Sequence[str] = field(default_factory=list)
+
+    @property
+    def required_attributes(self) -> list[str]:
+        return list(self.attributes)
+
+    def evaluate(self, relation: Relation) -> float:
+        raise TaskEvaluationError(
+            "exploratory task: satisfaction is only known ex post"
+        )

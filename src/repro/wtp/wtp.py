@@ -1,0 +1,192 @@
+"""Willing-to-pay functions (Section 3.2.2).
+
+A WTP-function bundles the four components the paper lists:
+
+1. a *task package* (see :mod:`repro.wtp.tasks`);
+2. a *price curve* mapping degree of satisfaction to money — "the buyer will
+   not pay any money for classifiers that do not achieve at least 80%
+   accuracy, and after reaching 80% accuracy, the buyer will pay $100";
+3. *packaged data* the buyer already owns (carried by tasks that need it);
+4. *intrinsic dataset properties* — declarative constraints such as maximum
+   staleness or null fraction that gate which mashups are acceptable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..discovery import MetadataEngine
+from ..errors import MarketError
+from ..relation import Relation
+from .tasks import TaskEvaluationError
+
+
+@dataclass(frozen=True)
+class PriceCurve:
+    """A step function from satisfaction in [0, 1] to a price.
+
+    ``steps`` is a sorted sequence of (threshold, price): the buyer pays the
+    price of the highest threshold reached, and 0 below the first one.
+    """
+
+    steps: tuple[tuple[float, float], ...]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise MarketError("price curve needs at least one step")
+        thresholds = [t for t, _p in self.steps]
+        if sorted(thresholds) != thresholds or len(set(thresholds)) != len(
+            thresholds
+        ):
+            raise MarketError("price curve thresholds must strictly increase")
+        prices = [p for _t, p in self.steps]
+        if any(p < 0 for p in prices):
+            raise MarketError("prices must be non-negative")
+        if sorted(prices) != prices:
+            raise MarketError("prices must be non-decreasing in satisfaction")
+
+    @classmethod
+    def of(cls, *steps: tuple[float, float]) -> "PriceCurve":
+        return cls(tuple(steps))
+
+    @classmethod
+    def single(cls, threshold: float, price: float) -> "PriceCurve":
+        return cls(((threshold, price),))
+
+    def price_for(self, satisfaction: float) -> float:
+        thresholds = [t for t, _p in self.steps]
+        i = bisect_right(thresholds, satisfaction)
+        if i == 0:
+            return 0.0
+        return self.steps[i - 1][1]
+
+    @property
+    def max_price(self) -> float:
+        return self.steps[-1][1]
+
+    @property
+    def min_threshold(self) -> float:
+        return self.steps[0][0]
+
+
+@dataclass(frozen=True)
+class IntrinsicRequirements:
+    """Declarative constraints on acceptable source datasets.
+
+    These reproduce Section 3.2.2.1's list: expiry/freshness (here: how many
+    versions old a dataset may be), nulls (quality), authorship, provenance.
+    Intrinsic properties only matter because a buyer demands them (Section
+    2) — unconstrained buyers simply leave this at the default.
+    """
+
+    max_null_fraction: float | None = None
+    min_rows: int | None = None
+    allowed_owners: tuple[str, ...] | None = None
+    #: require that source datasets are at most this many versions behind
+    #: the newest snapshot (a logical-time freshness proxy)
+    max_version_lag: int | None = None
+    require_provenance: bool = False
+
+    def violations(
+        self,
+        mashup: Relation,
+        sources: Sequence[str],
+        metadata: MetadataEngine | None = None,
+    ) -> list[str]:
+        """All constraint violations for a mashup built from ``sources``."""
+        problems: list[str] = []
+        if self.min_rows is not None and len(mashup) < self.min_rows:
+            problems.append(
+                f"mashup has {len(mashup)} rows; buyer requires "
+                f">= {self.min_rows}"
+            )
+        if self.max_null_fraction is not None:
+            total = len(mashup) * max(1, len(mashup.schema))
+            nulls = sum(
+                1 for row in mashup.rows for v in row if v is None
+            )
+            fraction = nulls / total if total else 0.0
+            if fraction > self.max_null_fraction:
+                problems.append(
+                    f"null fraction {fraction:.3f} exceeds "
+                    f"{self.max_null_fraction:.3f}"
+                )
+        if self.require_provenance and any(
+            not p.tokens() for p in mashup.provenance
+        ):
+            problems.append("mashup rows lack provenance annotations")
+        if metadata is not None:
+            for source in sources:
+                if source not in metadata:
+                    continue
+                snapshot = metadata.snapshot(source)
+                if (
+                    self.allowed_owners is not None
+                    and not set(snapshot.owners) & set(self.allowed_owners)
+                ):
+                    problems.append(
+                        f"dataset {source!r} owned by {snapshot.owners}, "
+                        f"not in allowed {self.allowed_owners}"
+                    )
+                if self.max_version_lag is not None:
+                    newest = max(
+                        metadata.snapshot(d).logical_time
+                        for d in metadata.datasets
+                    )
+                    lag = newest - snapshot.logical_time
+                    if lag > self.max_version_lag:
+                        problems.append(
+                            f"dataset {source!r} is stale (lag {lag} > "
+                            f"{self.max_version_lag})"
+                        )
+        return problems
+
+    def satisfied_by(
+        self,
+        mashup: Relation,
+        sources: Sequence[str],
+        metadata: MetadataEngine | None = None,
+    ) -> bool:
+        return not self.violations(mashup, sources, metadata)
+
+
+@dataclass
+class WTPFunction:
+    """The buyer's complete offer: task + price curve + constraints."""
+
+    buyer: str
+    task: object  # anything with .evaluate(Relation) and .required_attributes
+    curve: PriceCurve
+    intrinsic: IntrinsicRequirements = field(
+        default_factory=IntrinsicRequirements
+    )
+    #: "upfront" buyers know their valuation; "ex_post" buyers pay after use
+    elicitation: str = "upfront"
+    key: str | None = None
+    examples: Relation | None = None
+
+    def __post_init__(self):
+        if self.elicitation not in ("upfront", "ex_post"):
+            raise MarketError(
+                f"unknown elicitation mode {self.elicitation!r}"
+            )
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self.task.required_attributes)
+
+    def evaluate(self, mashup: Relation) -> tuple[float, float]:
+        """(satisfaction, willing-to-pay price) for one candidate mashup."""
+        satisfaction = self.task.evaluate(mashup)
+        return satisfaction, self.curve.price_for(satisfaction)
+
+    def try_evaluate(
+        self, mashup: Relation
+    ) -> tuple[float, float] | None:
+        """Like :meth:`evaluate` but None when the task cannot run."""
+        try:
+            return self.evaluate(mashup)
+        except TaskEvaluationError:
+            return None

@@ -1,0 +1,165 @@
+"""Tests for ecosystem actors: opportunistic sellers and arbitrageurs."""
+
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.errors import LicensingError, MarketError
+from repro.market import (
+    Arbiter,
+    BuyerPlatform,
+    License,
+    LicenseKind,
+    external_market,
+)
+from repro.relation import Column, Relation
+from repro.simulator import Arbitrageur, OpportunisticSeller
+
+
+@pytest.fixture
+def market_with_gap():
+    """A market where buyers demand attribute 'e' that nobody supplies."""
+    world = make_classification_world(
+        n_entities=150, feature_weights=(2.0, 1.5), dataset_features=((0, 1),),
+        seed=6,
+    )
+    arbiter = Arbiter(external_market())
+    arbiter.accept_dataset(world.datasets[0], seller="s1")
+    buyer = BuyerPlatform("b1")
+    arbiter.register_participant("b1", funding=500.0)
+    wtp = buyer.completeness_wtp(
+        wanted_keys=list(range(50)),
+        attributes=["f0", "attr_e"],
+        price_steps=((0.3, 50.0),),
+    )
+    buyer.submit(arbiter, wtp)
+    arbiter.run_round()  # publishes the attr_e gap
+    return arbiter, world
+
+
+def e_dataset_factory():
+    return Relation(
+        "collected_e",
+        [Column("entity_id", "int", "entity"), Column("attr_e", "float")],
+        [(i, float(i) * 0.5) for i in range(150)],
+    )
+
+
+def test_opportunistic_seller_fills_gap(market_with_gap):
+    arbiter, _world = market_with_gap
+    assert any(
+        r.attribute == "attr_e" for r in arbiter.negotiation.open_requests()
+    )
+    seller3 = OpportunisticSeller(
+        "seller3", {"attr_e": e_dataset_factory}, collection_cost=0.5
+    )
+    reports = seller3.scan_and_collect(arbiter)
+    assert len(reports) == 1
+    assert reports[0].attribute == "attr_e"
+    assert reports[0].expected_profit > 0
+    # the attribute is now available in the market
+    assert "collected_e" in arbiter.builder.datasets
+    assert not any(
+        r.attribute == "attr_e" for r in arbiter.negotiation.open_requests()
+    )
+
+
+def test_opportunistic_seller_skips_unprofitable(market_with_gap):
+    arbiter, _world = market_with_gap
+    expensive = OpportunisticSeller(
+        "lazy", {"attr_e": e_dataset_factory}, collection_cost=10_000.0
+    )
+    assert expensive.scan_and_collect(arbiter) == []
+    with pytest.raises(MarketError):
+        OpportunisticSeller("x", {}, collection_cost=-1.0)
+
+
+def test_opportunistic_seller_catalog_must_match(market_with_gap):
+    arbiter, _world = market_with_gap
+    bad_factory = lambda: Relation("junk", [("x", "int")], [(1,)])
+    broken = OpportunisticSeller("broken", {"attr_e": bad_factory},
+                                 collection_cost=0.0)
+    with pytest.raises(MarketError, match="without that attribute"):
+        broken.scan_and_collect(arbiter)
+
+
+def test_gap_then_collection_enables_sale(market_with_gap):
+    """After the opportunistic seller fills the gap, the buyer's request
+    succeeds — the full Section 7.1 loop."""
+    arbiter, _world = market_with_gap
+    seller3 = OpportunisticSeller(
+        "seller3", {"attr_e": e_dataset_factory}, collection_cost=0.5
+    )
+    seller3.scan_and_collect(arbiter)
+    buyer = BuyerPlatform("b2")
+    arbiter.register_participant("b2", funding=500.0)
+    wtp = buyer.completeness_wtp(
+        wanted_keys=list(range(50)),
+        attributes=["f0", "attr_e"],
+        price_steps=((0.3, 50.0),),
+    )
+    buyer.submit(arbiter, wtp)
+    result = arbiter.run_round()
+    assert result.transactions == 1
+    assert "collected_e" in result.deliveries[0].mashup.plan.sources()
+
+
+def test_arbitrageur_buy_transform_relist():
+    world = make_classification_world(
+        n_entities=120, feature_weights=(2.0, 1.0),
+        dataset_features=((0, 1),), seed=7,
+    )
+    arbiter = Arbiter(external_market())
+    arbiter.accept_dataset(world.datasets[0], seller="s1")
+
+    arb = Arbitrageur("arb1")
+    arb.join_market(arbiter, funding=300.0)
+    delivered = arb.acquire(
+        arbiter, attributes=["f0", "f1"],
+        wanted_keys=list(range(60)), max_price=20.0,
+    )
+    assert delivered is not None
+    relisted = arb.relist(
+        arbiter,
+        delivered,
+        "arb1_enriched",
+        transform=lambda rel: rel.extend(
+            Column("f0_squared", "float"), lambda row: row["f0"] ** 2
+        ),
+    )
+    assert "f0_squared" in relisted.schema
+    assert "arb1_enriched" in arbiter.builder.datasets
+    # a downstream buyer purchases the enriched dataset
+    buyer = BuyerPlatform("b9")
+    arbiter.register_participant("b9", funding=500.0)
+    wtp = buyer.completeness_wtp(
+        wanted_keys=list(range(60)),
+        attributes=["f0_squared"],
+        price_steps=((0.3, 40.0),),
+    )
+    buyer.submit(arbiter, wtp)
+    result = arbiter.run_round()
+    assert result.transactions == 1
+    assert arbiter.lineage.revenue_of("arb1_enriched") >= 0.0
+    # profit accounting works (may be negative if resale priced at 0)
+    assert isinstance(arb.profit(arbiter), float)
+
+
+def test_arbitrageur_blocked_by_non_resale_license():
+    world = make_classification_world(
+        n_entities=100, feature_weights=(2.0,), dataset_features=((0,),),
+        seed=8,
+    )
+    arbiter = Arbiter(external_market())
+    arbiter.accept_dataset(
+        world.datasets[0], seller="s1",
+        license=License(LicenseKind.NON_RESALE),
+    )
+    arb = Arbitrageur("arb2")
+    arb.join_market(arbiter, funding=300.0)
+    delivered = arb.acquire(
+        arbiter, attributes=["f0"], wanted_keys=list(range(50)),
+        max_price=20.0,
+    )
+    assert delivered is not None
+    with pytest.raises(LicensingError, match="forbids resale"):
+        arb.relist(arbiter, delivered, "arb2_copy")

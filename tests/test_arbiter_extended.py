@@ -1,0 +1,139 @@
+"""Extended arbiter coverage: exclusivity tax, recommendations, multi-round
+accumulation, context-gated sales, and the internal market at scale."""
+
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.market import (
+    Arbiter,
+    BuyerPlatform,
+    ContextualIntegrityPolicy,
+    License,
+    LicenseKind,
+    SellerPlatform,
+    exclusive_auction_market,
+    internal_market,
+)
+
+
+@pytest.fixture
+def world():
+    return make_classification_world(
+        n_entities=200,
+        feature_weights=(2.0, 1.5),
+        dataset_features=((0, 1),),
+        seed=55,
+    )
+
+
+def make_buyer(arbiter, name, world, price=100.0, threshold=0.7,
+               funding=500.0):
+    buyer = BuyerPlatform(name)
+    arbiter.register_participant(name, funding=funding)
+    arbiter.attach_buyer_platform(buyer)
+    buyer.submit(arbiter, buyer.classification_wtp(
+        labels=world.label_relation, features=["f0", "f1"],
+        price_steps=[(threshold, price)],
+    ))
+    return buyer
+
+
+def test_exclusivity_tax_raises_the_paid_price(world):
+    """Section 4.4: artificial scarcity costs the buyer a tax."""
+    taxed_license = License(LicenseKind.EXCLUSIVE, exclusivity_tax_rate=0.5)
+    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=20.0))
+    arbiter.accept_dataset(
+        world.datasets[0], seller="s1", license=taxed_license
+    )
+    make_buyer(arbiter, "b1", world)
+    result = arbiter.run_round()
+    assert result.transactions == 1
+    # Vickrey reserve 20, tax 50% -> the buyer pays 30
+    assert result.deliveries[0].price_paid == pytest.approx(30.0)
+    assert arbiter.ledger.conservation_check()
+
+
+def test_context_gated_sale(world):
+    policy = ContextualIntegrityPolicy.of("research")
+    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=1.0))
+    arbiter.accept_dataset(world.datasets[0], seller="s1", policy=policy)
+    make_buyer(arbiter, "b1", world)
+    blocked = arbiter.run_round(context="advertising")
+    assert blocked.transactions == 0
+    assert any("contextual" in r.reason for r in blocked.rejections)
+    make_buyer(arbiter, "b2", world)
+    allowed = arbiter.run_round(context="research")
+    assert allowed.transactions == 1
+
+
+def test_recommendations_emerge_from_purchases(world):
+    extra = make_classification_world(
+        n_entities=200, feature_weights=(1.0, 1.0),
+        dataset_features=((0,), (1,)), seed=56,
+    )
+    arbiter = Arbiter(internal_market())
+    arbiter.accept_dataset(world.datasets[0], seller="s1")
+    arbiter.accept_dataset(
+        extra.datasets[0].renamed("bonus_ds").with_provenance_root("bonus_ds"),
+        seller="s2",
+    )
+    # b1 buys both goods; b2 buys only the first
+    b1 = make_buyer(arbiter, "b1", world, price=10.0)
+    arbiter.run_round()
+    wtp_bonus = b1.completeness_wtp(
+        wanted_keys=list(range(100)), attributes=["f0"],
+        price_steps=[(0.4, 5.0)],
+    )
+    b1.submit(arbiter, wtp_bonus)
+    arbiter.run_round()
+    make_buyer(arbiter, "b2", world, price=10.0)
+    arbiter.run_round()
+    recs = arbiter.recommendations.recommend("b2")
+    recommended = {r.dataset for r in recs}
+    # b2 should be pointed at something b1 bought that b2 hasn't
+    assert recommended
+    assert all(r.leaks_information for r in recs)
+
+
+def test_multi_round_lineage_accumulates(world):
+    arbiter = Arbiter(internal_market())
+    seller = SellerPlatform("team_data")
+    seller.package(world.datasets[0])
+    seller.share_all(arbiter)
+    for i in range(3):
+        make_buyer(arbiter, f"b{i}", world, price=10.0)
+        arbiter.run_round()
+    sales = arbiter.lineage.sales_of("seller_0")
+    assert len(sales) == 3
+    assert {s.buyer for s in sales} == {"b0", "b1", "b2"}
+    # bonus points minted once per transaction
+    grant = internal_market().participation_grant
+    reward = internal_market().seller_reward
+    assert arbiter.ledger.balance("team_data") == pytest.approx(
+        grant + 3 * reward
+    )
+
+
+def test_internal_market_welfare_scales_with_buyers(world):
+    arbiter = Arbiter(internal_market())
+    arbiter.accept_dataset(world.datasets[0], seller="s1")
+    for i in range(5):
+        make_buyer(arbiter, f"team_{i}", world, price=10.0)
+    result = arbiter.run_round()
+    # posted price 0 serves every team (welfare-maximizing allocation)
+    assert result.transactions == 5
+
+
+def test_run_round_with_no_pending_wtps(world):
+    arbiter = Arbiter(internal_market())
+    arbiter.accept_dataset(world.datasets[0], seller="s1")
+    result = arbiter.run_round()
+    assert result.transactions == 0
+    assert result.rejections == []
+
+
+def test_duplicate_registration_rejected(world):
+    arbiter = Arbiter(internal_market())
+    arbiter.register_participant("x")
+    with pytest.raises(Exception, match="already registered"):
+        arbiter.register_participant("x")

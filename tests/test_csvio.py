@@ -1,0 +1,56 @@
+"""Unit tests for CSV I/O."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation import Relation, read_csv, read_csv_dir, read_csv_text, write_csv
+
+
+def test_read_csv_text_types():
+    r = read_csv_text("t", "a,b,c,d\n1,2.5,hello,true\n2,3.5,world,false\n")
+    assert r.schema["a"].dtype == "int"
+    assert r.schema["b"].dtype == "float"
+    assert r.schema["c"].dtype == "str"
+    assert r.schema["d"].dtype == "bool"
+    assert r.rows[0] == (1, 2.5, "hello", True)
+
+
+def test_read_csv_text_nulls_and_mixed():
+    r = read_csv_text("t", "a,b\n1,\n,x\n")
+    assert r.rows[0] == (1, None)
+    assert r.rows[1] == (None, "x")
+
+
+def test_read_csv_text_int_promoted_in_float_column():
+    r = read_csv_text("t", "a\n1\n2.5\n")
+    assert r.schema["a"].dtype == "float"
+    assert r.rows[0] == (1.0,)
+
+
+def test_read_csv_text_empty_raises():
+    with pytest.raises(SchemaError):
+        read_csv_text("t", "")
+
+
+def test_read_csv_text_ragged_raises():
+    with pytest.raises(SchemaError):
+        read_csv_text("t", "a,b\n1\n")
+
+
+def test_roundtrip_file(tmp_path):
+    rel = Relation(
+        "orig", [("a", "int"), ("b", "str")], [(1, "x"), (None, "y")]
+    )
+    path = tmp_path / "orig.csv"
+    write_csv(rel, str(path))
+    back = read_csv(str(path))
+    assert back.name == "orig"
+    assert back == rel
+
+
+def test_read_csv_dir(tmp_path):
+    (tmp_path / "one.csv").write_text("a\n1\n")
+    (tmp_path / "two.csv").write_text("b\nx\n")
+    (tmp_path / "ignore.txt").write_text("not a csv")
+    rels = read_csv_dir(str(tmp_path))
+    assert [r.name for r in rels] == ["one", "two"]

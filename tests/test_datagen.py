@@ -1,0 +1,129 @@
+"""Tests for the synthetic corpus and classification generators."""
+
+import pytest
+
+from repro.datagen import (
+    CorpusSpec,
+    conflicting_sources,
+    generate_corpus,
+    intro_scenario,
+    make_classification_world,
+    time_series,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusSpec(n_entities=100, n_datasets=5, seed=3))
+
+
+def test_corpus_shape(corpus):
+    assert len(corpus.datasets) == 5
+    assert len(corpus.wide) == 100
+    for ds in corpus.datasets:
+        assert corpus.key_names[ds.name] in ds.schema
+        assert len(ds) >= 2
+
+
+def test_corpus_is_deterministic():
+    a = generate_corpus(CorpusSpec(n_entities=50, seed=11))
+    b = generate_corpus(CorpusSpec(n_entities=50, seed=11))
+    for da, db in zip(a.datasets, b.datasets):
+        assert da == db
+    c = generate_corpus(CorpusSpec(n_entities=50, seed=12))
+    assert any(da != dc for da, dc in zip(a.datasets, c.datasets))
+
+
+def test_corpus_true_joins_actually_join(corpus):
+    for ds_a, col_a, ds_b, col_b in corpus.true_joins:
+        a, b = corpus.dataset(ds_a), corpus.dataset(ds_b)
+        joined = a.join(b, on=[(col_a, col_b)])
+        # both datasets sample ~70% of the same universe: expect overlap
+        assert len(joined) > 0
+
+
+def test_corpus_affine_transforms_recorded():
+    spec = CorpusSpec(
+        n_entities=80, n_datasets=8, affine_probability=0.9, seed=5
+    )
+    corpus = generate_corpus(spec)
+    affines = [t for t in corpus.transforms if t.kind == "affine"]
+    assert affines, "expected at least one affine transform at p=0.9"
+    for t in affines:
+        ds = corpus.dataset(t.dataset)
+        a, b = t.params
+        key = corpus.key_names[t.dataset]
+        base_pos = corpus.wide.schema.position(t.base_column)
+        wide_by_id = {row[0]: row[base_pos] for row in corpus.wide.rows}
+        col_pos = ds.schema.position(t.column)
+        key_pos = ds.schema.position(key)
+        for row in ds.rows[:10]:
+            assert row[col_pos] == pytest.approx(
+                a * wide_by_id[row[key_pos]] + b
+            )
+
+
+def test_corpus_code_transforms_have_mapping():
+    spec = CorpusSpec(
+        n_entities=60, n_datasets=8, code_probability=0.9,
+        affine_probability=0.0, seed=9,
+    )
+    corpus = generate_corpus(spec)
+    codes = [t for t in corpus.transforms if t.kind == "code"]
+    assert codes
+    for t in codes:
+        assert t.mapping
+        ds = corpus.dataset(t.dataset)
+        values = set(ds.column(t.column))
+        assert values <= set(t.mapping.keys())
+
+
+def test_time_series():
+    ts = time_series("temps", 10, 60, lambda t: t / 10.0)
+    assert len(ts) == 10
+    assert ts.rows[3] == (180, 18.0)
+    noisy = time_series("n", 10, 60, lambda t: 0.0, noise=1.0, seed=1)
+    assert any(v != 0.0 for v in noisy.column("value"))
+
+
+def test_conflicting_sources_accuracy():
+    truth, sources = conflicting_sources(
+        3, 300, accuracies=[0.95, 0.6, 0.3], seed=2
+    )
+    truth_map = dict(truth.rows)
+    measured = []
+    for src in sources:
+        right = sum(1 for e, c in src.rows if truth_map[e] == c)
+        measured.append(right / len(src))
+    assert measured[0] > measured[1] > measured[2]
+    assert measured[0] == pytest.approx(0.95, abs=0.05)
+
+
+def test_conflicting_sources_validates():
+    with pytest.raises(ValueError):
+        conflicting_sources(2, 10, accuracies=[0.5])
+
+
+def test_classification_world_features_split():
+    world = make_classification_world(
+        n_entities=100, dataset_features=((0, 1), (2, 3, 4))
+    )
+    assert world.datasets[0].columns == ("entity_id", "f0", "f1")
+    assert world.datasets[1].columns == ("entity_id", "f2", "f3", "f4")
+    assert set(world.label_relation.columns) == {"entity_id", "label"}
+    labels = set(world.label_relation.column("label"))
+    assert labels <= {0, 1} and len(labels) == 2
+
+
+def test_intro_scenario_shapes():
+    sc = intro_scenario(seed=1, n_entities=120)
+    assert sc["s1"].columns == ("entity_id", "a", "b", "c")
+    assert sc["s2"].columns == ("entity_id", "b_prime", "fd")
+    kind, a, b, col, base = sc["transform"]
+    assert kind == "affine" and a == 1.8 and b == 32.0
+    # fd really is an affine transform of the hidden d
+    full = sc["world"].full
+    d_pos = full.schema.position(base)
+    fd_by_id = {r[0]: r[2] for r in sc["s2"].rows}
+    for row in full.rows[:20]:
+        assert fd_by_id[row[0]] == pytest.approx(1.8 * row[d_pos] + 32.0)

@@ -1,0 +1,107 @@
+"""Tests for the dispute desk (Section 4.4)."""
+
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.market import (
+    Arbiter,
+    BuyerPlatform,
+    DisputeDesk,
+    DisputeError,
+    DisputeKind,
+    DisputeStatus,
+    SellerPlatform,
+    exclusive_auction_market,
+)
+
+
+@pytest.fixture
+def settled_market():
+    """A market with one completed transaction and a dispute desk."""
+    world = make_classification_world(
+        n_entities=200, feature_weights=(2.0, 1.5),
+        dataset_features=((0, 1),), seed=33,
+    )
+    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=20.0))
+    seller = SellerPlatform("acme")
+    seller.package(world.datasets[0])
+    seller.share_all(arbiter)
+    buyer = BuyerPlatform("b1")
+    arbiter.register_participant("b1", funding=200.0)
+    buyer.submit(arbiter, buyer.classification_wtp(
+        labels=world.label_relation, features=["f0", "f1"],
+        price_steps=[(0.7, 100.0)],
+    ))
+    result = arbiter.run_round()
+    assert result.transactions == 1
+    # the arbiter needs operating capital to honour refunds beyond its
+    # accumulated commission
+    arbiter.ledger.mint("arbiter", 100.0, memo="operating reserve")
+    desk = DisputeDesk(arbiter.ledger, arbiter.audit, arbiter.lineage)
+    return arbiter, desk, result.deliveries[0]
+
+
+def test_not_delivered_dismissed_when_record_exists(settled_market):
+    arbiter, desk, delivery = settled_market
+    dispute = desk.file(
+        "b1", DisputeKind.NOT_DELIVERED, delivery.transaction_id, 100.0
+    )
+    desk.resolve(dispute.dispute_id)
+    assert dispute.status is DisputeStatus.DISMISSED
+    assert "on record" in dispute.resolution
+    assert dispute.refund == 0.0
+
+
+def test_not_delivered_upheld_for_ghost_transaction(settled_market):
+    arbiter, desk, _delivery = settled_market
+    before = arbiter.ledger.balance("b1")
+    dispute = desk.file("b1", DisputeKind.NOT_DELIVERED, 999, 15.0)
+    desk.resolve(dispute.dispute_id)
+    assert dispute.status is DisputeStatus.UPHELD
+    assert arbiter.ledger.balance("b1") == pytest.approx(before + 15.0)
+    assert arbiter.audit.verify()  # resolution is itself audited
+
+
+def test_overcharged_adjudicated_from_audit(settled_market):
+    arbiter, desk, delivery = settled_market
+    # claim more than recorded -> refund of the difference
+    dispute = desk.file(
+        "b1", DisputeKind.OVERCHARGED, delivery.transaction_id,
+        delivery.price_paid + 5.0,
+    )
+    desk.resolve(dispute.dispute_id)
+    assert dispute.status is DisputeStatus.UPHELD
+    assert dispute.refund == pytest.approx(5.0)
+    # claim equal to the record -> dismissed
+    dispute2 = desk.file(
+        "b1", DisputeKind.OVERCHARGED, delivery.transaction_id,
+        delivery.price_paid,
+    )
+    desk.resolve(dispute2.dispute_id)
+    assert dispute2.status is DisputeStatus.DISMISSED
+
+
+def test_unpaid_share_dismissed_when_ledger_shows_payment(settled_market):
+    arbiter, desk, delivery = settled_market
+    dispute = desk.file(
+        "acme", DisputeKind.UNPAID_SHARE, delivery.transaction_id,
+        delivery.split.sellers_total,
+    )
+    desk.resolve(dispute.dispute_id)
+    assert dispute.status is DisputeStatus.DISMISSED
+
+
+def test_dispute_validation(settled_market):
+    _arbiter, desk, delivery = settled_market
+    with pytest.raises(DisputeError, match="non-negative"):
+        desk.file("b1", DisputeKind.OVERCHARGED, 1, -5.0)
+    with pytest.raises(DisputeError, match="unknown participant"):
+        desk.file("stranger", DisputeKind.OVERCHARGED, 1, 5.0)
+    with pytest.raises(DisputeError, match="unknown dispute"):
+        desk.resolve(42)
+    d = desk.file("b1", DisputeKind.NOT_DELIVERED, delivery.transaction_id,
+                  1.0)
+    desk.resolve(d.dispute_id)
+    with pytest.raises(DisputeError, match="already"):
+        desk.resolve(d.dispute_id)
+    assert desk.open_disputes() == []

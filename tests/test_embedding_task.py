@@ -1,0 +1,73 @@
+"""Tests for the embedding-market task (Section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.relation import Column, Relation, Schema
+from repro.wtp import EmbeddingSimilarityTask, TaskEvaluationError
+
+DIM = 4
+COLS = [f"e{i}" for i in range(DIM)]
+
+
+def embedding_relation(name: str, vectors: np.ndarray) -> Relation:
+    schema = Schema(
+        [Column("entity_id", "int", "entity")] +
+        [Column(c, "float") for c in COLS]
+    )
+    rows = [
+        (i, *(float(v) for v in vec)) for i, vec in enumerate(vectors)
+    ]
+    return Relation(name, schema, rows)
+
+
+@pytest.fixture
+def vectors():
+    rng = np.random.default_rng(0)
+    return rng.normal(0, 1, size=(30, DIM))
+
+
+def test_identical_embeddings_score_one(vectors):
+    refs = embedding_relation("refs", vectors[:10])
+    candidate = embedding_relation("cand", vectors)
+    task = EmbeddingSimilarityTask(references=refs, embedding_columns=COLS)
+    assert task.evaluate(candidate) == pytest.approx(1.0)
+
+
+def test_quantization_degrades_satisfaction(vectors):
+    refs = embedding_relation("refs", vectors[:10])
+    task = EmbeddingSimilarityTask(references=refs, embedding_columns=COLS)
+    full = task.evaluate(embedding_relation("full", vectors))
+    # coarse 1-bit quantization: keep only the sign
+    quantized = embedding_relation("quant", np.sign(vectors))
+    q_score = task.evaluate(quantized)
+    # random noise replacing the vectors entirely scores worst
+    rng = np.random.default_rng(9)
+    noise = embedding_relation("noise", rng.normal(0, 1, vectors.shape))
+    n_score = task.evaluate(noise)
+    assert full > q_score > n_score
+    assert q_score > 0.75  # sign-quantization preserves direction
+
+
+def test_embedding_task_errors(vectors):
+    refs = embedding_relation("refs", vectors[:10])
+    task = EmbeddingSimilarityTask(references=refs, embedding_columns=COLS)
+    no_key = embedding_relation("c", vectors).drop(["entity_id"])
+    with pytest.raises(TaskEvaluationError, match="key"):
+        task.evaluate(no_key)
+    partial = embedding_relation("c", vectors).drop(["e0"])
+    with pytest.raises(TaskEvaluationError, match="embedding columns"):
+        task.evaluate(partial)
+    disjoint = embedding_relation("c", vectors)
+    shifted = Relation(
+        "c2", disjoint.schema,
+        [(row[0] + 1000, *row[1:]) for row in disjoint.rows],
+    )
+    with pytest.raises(TaskEvaluationError, match="comparable"):
+        task.evaluate(shifted)
+
+
+def test_required_attributes(vectors):
+    refs = embedding_relation("refs", vectors[:10])
+    task = EmbeddingSimilarityTask(references=refs, embedding_columns=COLS)
+    assert task.required_attributes == COLS

@@ -1,0 +1,162 @@
+"""Failure-injection tests: the market must survive hostile/buggy inputs.
+
+Section 6.1: "a faulty piece of software may cause erratic behavior" — the
+DMMS must contain it.  These tests inject crashing task packages, insane
+satisfaction values, underfunded buyers, tampered audit logs, and privacy
+budget exhaustion, and verify the market round completes and records the
+incident instead of crashing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.errors import AuditError, BudgetExhaustedError
+from repro.market import Arbiter, BuyerPlatform, SellerPlatform, external_market
+from repro.wtp import PriceCurve, WTPFunction
+
+
+class CrashingTask:
+    """A buyer package that raises an arbitrary (non-market) exception."""
+
+    required_attributes = ["f0"]
+
+    def evaluate(self, relation):
+        raise ZeroDivisionError("buyer code divided by zero")
+
+
+class NaNTask:
+    required_attributes = ["f0"]
+
+    def evaluate(self, relation):
+        return float("nan")
+
+
+class OutOfRangeTask:
+    required_attributes = ["f0"]
+
+    def evaluate(self, relation):
+        return 17.5  # satisfaction must live in [0, 1]
+
+
+class InfiniteLoopLikeTask:
+    """Simulates a hung package via a guard (we can't time out threads in a
+    unit test, but we can verify the sandbox catches its watchdog error)."""
+
+    required_attributes = ["f0"]
+
+    def evaluate(self, relation):
+        raise TimeoutError("watchdog: task exceeded its CPU budget")
+
+
+@pytest.fixture
+def market():
+    world = make_classification_world(
+        n_entities=150, feature_weights=(2.0, 1.5),
+        dataset_features=((0, 1),), seed=21,
+    )
+    arbiter = Arbiter(external_market())
+    seller = SellerPlatform("s1")
+    seller.package(world.datasets[0])
+    seller.share_all(arbiter)
+    return arbiter, world
+
+
+@pytest.mark.parametrize(
+    "task,expected_kind",
+    [
+        (CrashingTask(), "wtp_evaluation_crashed"),
+        (InfiniteLoopLikeTask(), "wtp_evaluation_crashed"),
+        (NaNTask(), "wtp_evaluation_rejected"),
+        (OutOfRangeTask(), "wtp_evaluation_rejected"),
+    ],
+)
+def test_hostile_task_contained_and_audited(market, task, expected_kind):
+    arbiter, _world = market
+    arbiter.register_participant("evil", funding=100.0)
+    arbiter.submit_wtp(
+        WTPFunction(buyer="evil", task=task, curve=PriceCurve.single(0.5, 10.0))
+    )
+    result = arbiter.run_round()  # must not raise
+    assert result.transactions == 0
+    assert any(r.buyer == "evil" for r in result.rejections)
+    assert arbiter.audit.records(expected_kind)
+    assert arbiter.audit.verify()
+
+
+def test_hostile_task_does_not_block_honest_buyers(market):
+    arbiter, world = market
+    arbiter.register_participant("evil", funding=100.0)
+    arbiter.submit_wtp(
+        WTPFunction(buyer="evil", task=CrashingTask(),
+                    curve=PriceCurve.single(0.5, 10.0))
+    )
+    honest = BuyerPlatform("honest")
+    arbiter.register_participant("honest", funding=100.0)
+    honest.submit(arbiter, honest.classification_wtp(
+        labels=world.label_relation, features=["f0", "f1"],
+        price_steps=[(0.7, 50.0)],
+    ))
+    result = arbiter.run_round()
+    assert any(d.buyer == "honest" for d in result.deliveries)
+
+
+def test_underfunded_buyer_rejected_not_crashed(market):
+    arbiter, world = market
+    # posted-price-like flow: make the buyer win but lack funds by using a
+    # second bidder so RSOP produces a positive price
+    for name, funding, price in (("rich", 500.0, 60.0), ("poor", 0.0, 80.0)):
+        buyer = BuyerPlatform(name)
+        arbiter.register_participant(name, funding=funding)
+        buyer.submit(arbiter, buyer.classification_wtp(
+            labels=world.label_relation, features=["f0", "f1"],
+            price_steps=[(0.7, price)],
+        ))
+    result = arbiter.run_round()  # must not raise
+    # 'poor' either lost the auction or was rejected for lack of funds;
+    # either way, the ledger never went negative
+    for account in arbiter.ledger.accounts:
+        assert arbiter.ledger.balance(account) >= -1e-9
+    assert arbiter.ledger.conservation_check()
+
+
+def test_tampered_audit_is_detected(market):
+    arbiter, _world = market
+    arbiter.register_participant("b", funding=10.0)
+    # forge a payload after the fact
+    record = arbiter.audit.records()[0]
+    record.payload["design"] = "forged rules"
+    with pytest.raises(AuditError):
+        arbiter.audit.verify()
+
+
+def test_privacy_budget_exhaustion_is_loud():
+    world = make_classification_world(
+        n_entities=100, feature_weights=(1.0,), dataset_features=((0,),),
+        seed=2,
+    )
+    seller = SellerPlatform("s", privacy_budget=1.0)
+    seller.package(world.datasets[0])
+    rng = np.random.default_rng(0)
+    seller.dp_offer("seller_0", "f0", epsilon=0.9, rng=rng)
+    with pytest.raises(BudgetExhaustedError):
+        seller.dp_offer("seller_0", "f0", epsilon=0.5, rng=rng)
+
+
+def test_sane_evaluation_guard():
+    from repro.market.arbiter import _sane_evaluation
+
+    assert _sane_evaluation(0.5, 10.0)
+    assert _sane_evaluation(0.0, 0.0)
+    assert not _sane_evaluation(float("nan"), 1.0)
+    assert not _sane_evaluation(0.5, float("inf"))
+    assert not _sane_evaluation(1.5, 1.0)
+    assert not _sane_evaluation(-0.1, 1.0)
+    assert not _sane_evaluation(0.5, -1.0)
+    assert not _sane_evaluation(True, 1.0)
+    assert not _sane_evaluation("high", 1.0)
+    assert not _sane_evaluation(0.5, "expensive")

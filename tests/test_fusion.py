@@ -1,0 +1,180 @@
+"""Tests for fusion cells, operators and truth discovery."""
+
+import pytest
+
+from repro.datagen import conflicting_sources
+from repro.errors import FusionError
+from repro.fusion import (
+    FusedValue,
+    auto_signals,
+    conflict_report,
+    discover_truth,
+    fuse,
+    resolve,
+    resolve_fused_with_truth_discovery,
+)
+from repro.relation import Relation
+
+
+def make_weather(name, temps):
+    return Relation(
+        name,
+        [("city", "str"), ("temp", "float")],
+        [(c, t) for c, t in temps.items()],
+    )
+
+
+@pytest.fixture
+def weather_sources():
+    a = make_weather("sensor", {"oslo": 10.0, "rome": 25.0})
+    b = make_weather("city_feed", {"oslo": 12.0, "rome": 25.0, "lima": 18.0})
+    c = make_weather("phone", {"oslo": 10.0})
+    return [a, b, c]
+
+
+# -- FusedValue ----------------------------------------------------------------
+
+
+def test_fused_value_requires_claims():
+    with pytest.raises(FusionError):
+        FusedValue(())
+
+
+def test_fused_value_majority_and_conflict():
+    cell = FusedValue.of([("a", 10.0), ("b", 12.0), ("c", 10.0)])
+    assert cell.is_conflicting
+    assert cell.majority() == 10.0
+    assert cell.mean() == pytest.approx(32.0 / 3)
+    assert cell.spread() == pytest.approx(2.0)
+    assert cell.value_from("b") == 12.0
+    with pytest.raises(FusionError):
+        cell.value_from("zzz")
+
+
+def test_fused_value_weighted():
+    cell = FusedValue.of([("good", "x"), ("bad1", "y"), ("bad2", "y")])
+    assert cell.majority() == "y"
+    assert cell.weighted({"good": 5.0, "bad1": 1.0, "bad2": 1.0}) == "x"
+
+
+def test_fused_value_nulls():
+    cell = FusedValue.of([("a", None), ("b", 3.0)])
+    assert not cell.is_conflicting
+    assert cell.majority() == 3.0
+    assert cell.first() == 3.0
+    all_null = FusedValue.of([("a", None)])
+    assert all_null.majority() is None
+    assert all_null.mean() is None
+    assert all_null.spread() is None
+
+
+# -- fuse / resolve -----------------------------------------------------------
+
+
+def test_fuse_aligns_on_key(weather_sources):
+    signals = {"temp": [(r.name, "temp") for r in weather_sources]}
+    fused = fuse(weather_sources, "city", signals)
+    assert len(fused) == 3  # oslo, rome, lima (full outer alignment)
+    by_city = {r["city"]: r["temp"] for r in fused.to_dicts()}
+    assert set(by_city["oslo"].sources) == {"sensor", "city_feed", "phone"}
+    assert by_city["lima"].sources == ("city_feed",)
+
+
+def test_fuse_provenance_spans_sources(weather_sources):
+    signals = {"temp": [(r.name, "temp") for r in weather_sources]}
+    fused = fuse(weather_sources, "city", signals)
+    oslo_idx = fused.column("city").index("oslo")
+    assert fused.provenance[oslo_idx].sources() == {
+        "sensor", "city_feed", "phone"
+    }
+
+
+def test_fuse_validates(weather_sources):
+    with pytest.raises(FusionError):
+        fuse([], "city", {})
+    with pytest.raises(FusionError, match="unknown dataset"):
+        fuse(weather_sources, "city", {"t": [("ghost", "temp")]})
+    with pytest.raises(FusionError, match="no column"):
+        fuse(weather_sources, "city", {"t": [("sensor", "ghost")]})
+    with pytest.raises(FusionError, match="no key"):
+        fuse(weather_sources, "ghost_key", {})
+
+
+def test_auto_signals(weather_sources):
+    signals = auto_signals(weather_sources, "city")
+    assert set(signals) == {"temp"}
+    assert len(signals["temp"]) == 3
+
+
+def test_resolve_strategies(weather_sources):
+    fused = fuse(weather_sources, "city", auto_signals(weather_sources, "city"))
+    maj = resolve(fused, "majority")
+    by_city = {r["city"]: r["temp"] for r in maj.to_dicts()}
+    assert by_city["oslo"] == 10.0  # two sources say 10
+    mean = resolve(fused, "mean")
+    assert {r["city"]: r["temp"] for r in mean.to_dicts()}[
+        "oslo"
+    ] == pytest.approx(32.0 / 3)
+    weighted = resolve(fused, "weighted", weights={"city_feed": 10.0})
+    assert {r["city"]: r["temp"] for r in weighted.to_dicts()}["oslo"] == 12.0
+    kept = resolve(fused, "keep")
+    assert kept is fused
+    with pytest.raises(FusionError):
+        resolve(fused, "oracle")
+    with pytest.raises(FusionError):
+        resolve(fused, "weighted")
+
+
+def test_conflict_report(weather_sources):
+    fused = fuse(weather_sources, "city", auto_signals(weather_sources, "city"))
+    report = conflict_report(fused)
+    row = report.to_dicts()[0]
+    assert row["signal"] == "temp"
+    assert row["cells"] == 3
+    assert row["conflicting"] == 1  # only oslo disagrees
+
+
+# -- truth discovery --------------------------------------------------------------
+
+
+def test_truth_discovery_beats_majority_with_skewed_sources():
+    truth, sources = conflicting_sources(
+        5, 400, accuracies=[0.9, 0.9, 0.35, 0.35, 0.35], seed=7
+    )
+    truth_map = dict(truth.rows)
+    result = discover_truth(sources)
+    td_acc = result.accuracy_against(truth_map)
+
+    # majority-vote baseline over the same claims
+    fused = fuse(sources, "entity_id", auto_signals(sources, "entity_id"))
+    maj = resolve(fused, "majority")
+    maj_map = dict(maj.rows)
+    maj_acc = sum(
+        1 for k, v in maj_map.items() if truth_map[k] == v
+    ) / len(maj_map)
+
+    assert td_acc > maj_acc
+    # learned weights rank the reliable sources on top
+    w = result.source_weights
+    assert min(w["source_0"], w["source_1"]) > max(
+        w["source_2"], w["source_3"], w["source_4"]
+    )
+
+
+def test_truth_discovery_validates():
+    with pytest.raises(FusionError):
+        discover_truth([])
+    empty = Relation("s", [("entity_id", "int"), ("claim", "str")], [])
+    with pytest.raises(FusionError, match="no claims"):
+        discover_truth([empty])
+    _truth, sources = conflicting_sources(2, 10, accuracies=[0.9, 0.9])
+    with pytest.raises(FusionError):
+        discover_truth(sources, max_iterations=0)
+
+
+def test_truth_discovery_on_fused_column(weather_sources):
+    fused = fuse(weather_sources, "city", auto_signals(weather_sources, "city"))
+    result = resolve_fused_with_truth_discovery(fused, "city", "temp")
+    assert set(result.truths) == {"oslo", "rome", "lima"}
+    with pytest.raises(FusionError):
+        resolve_fused_with_truth_discovery(fused, "city", "city")

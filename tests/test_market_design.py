@@ -1,0 +1,166 @@
+"""Tests for market designs and the revenue allocation engine."""
+
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.errors import MarketDesignError, ValuationError
+from repro.integration import MashupRequest
+from repro.market import (
+    MarketDesign,
+    RevenueAllocationEngine,
+    barter_market,
+    exclusive_auction_market,
+    external_market,
+    internal_market,
+    provenance_shares,
+    row_allocation,
+    shapley_shares,
+)
+from repro.mashup import MashupBuilder
+from repro.mechanisms import ExPostMechanism, PostedPriceMechanism
+from repro.wtp import ClassificationTask, PriceCurve, WTPFunction
+
+
+def test_presets_validate():
+    for preset in (external_market(), internal_market(), barter_market(),
+                   exclusive_auction_market(k=2, reserve=5.0)):
+        preset.validate()
+        assert preset.summary()
+
+
+def test_preset_characteristics():
+    ext = external_market()
+    assert ext.goal == "revenue" and ext.incentive == "money"
+    assert ext.expost is not None
+    internal = internal_market()
+    assert internal.incentive == "points"
+    assert internal.arbiter_commission == 0.0
+    assert internal.seller_reward > 0
+    barter = barter_market()
+    assert barter.incentive == "credits"
+    assert barter.participation_grant > 0
+
+
+def test_design_validation_catches_bad_configs():
+    base = dict(
+        name="x", goal="revenue", incentive="money", elicitation="upfront",
+        mechanism=PostedPriceMechanism(price=1.0),
+    )
+    MarketDesign(**base).validate()
+    with pytest.raises(MarketDesignError):
+        MarketDesign(**{**base, "goal": "chaos"}).validate()
+    with pytest.raises(MarketDesignError):
+        MarketDesign(**{**base, "incentive": "favors"}).validate()
+    with pytest.raises(MarketDesignError):
+        MarketDesign(**{**base, "elicitation": "psychic"}).validate()
+    with pytest.raises(MarketDesignError):
+        MarketDesign(**{**base, "revenue_sharing": "dice"}).validate()
+    with pytest.raises(MarketDesignError):
+        MarketDesign(**{**base, "arbiter_commission": 1.0}).validate()
+    with pytest.raises(MarketDesignError):
+        MarketDesign(**{**base, "participation_grant": -1.0}).validate()
+    with pytest.raises(MarketDesignError, match="requires an ExPost"):
+        MarketDesign(**{**base, "elicitation": "ex_post"}).validate()
+
+
+def test_design_rejects_untruthful_expost():
+    with pytest.raises(MarketDesignError, match="not truthful"):
+        MarketDesign(
+            name="x", goal="revenue", incentive="money",
+            elicitation="ex_post",
+            mechanism=PostedPriceMechanism(price=1.0),
+            expost=ExPostMechanism(
+                audit_probability=0.05, penalty_multiplier=1.0
+            ),
+        ).validate()
+
+
+# -- revenue allocation engine ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sold_mashup():
+    """A mashup joining two sellers' feature datasets, plus its WTP."""
+    world = make_classification_world(
+        n_entities=250,
+        feature_weights=(0.4, 0.4, 3.0, 3.0),  # seller_1 owns the signal
+        dataset_features=((0, 1), (2, 3)),
+        seed=2,
+    )
+    builder = MashupBuilder()
+    for ds in world.datasets:
+        builder.add_dataset(ds)
+    wtp = WTPFunction(
+        buyer="b1",
+        task=ClassificationTask(
+            labels=world.label_relation, features=["f0", "f1", "f2", "f3"]
+        ),
+        curve=PriceCurve.of((0.6, 50.0), (0.8, 100.0)),
+        key="entity_id",
+    )
+    mashups = builder.build(
+        MashupRequest(attributes=wtp.attributes, key="entity_id")
+    )
+    best = next(
+        m for m in mashups
+        if set(m.plan.sources()) == {"seller_0", "seller_1"}
+    )
+    return builder, wtp, best
+
+
+def test_row_allocation_uniform(sold_mashup):
+    _b, _w, mashup = sold_mashup
+    rows = row_allocation(mashup.relation, 100.0)
+    assert len(rows) == len(mashup.relation)
+    assert sum(rows) == pytest.approx(100.0)
+    assert row_allocation(mashup.relation.limit(0), 10.0) == []
+
+
+def test_provenance_shares_cover_both_sellers(sold_mashup):
+    _b, _w, mashup = sold_mashup
+    shares = provenance_shares(mashup.relation)
+    assert set(shares) == {"seller_0", "seller_1"}
+    # equi-join of two tables: equal joint responsibility
+    assert shares["seller_0"] == pytest.approx(shares["seller_1"])
+
+
+def test_provenance_shares_require_provenance(sold_mashup):
+    _b, _w, mashup = sold_mashup
+    with pytest.raises(ValuationError):
+        provenance_shares(mashup.relation.without_provenance())
+
+
+def test_shapley_shares_reflect_task_value(sold_mashup):
+    builder, wtp, mashup = sold_mashup
+    shares = shapley_shares(mashup, wtp, builder.metadata.relation)
+    assert set(shares) == {"seller_0", "seller_1"}
+    total = sum(shares.values())
+    _s, full_price = wtp.evaluate(mashup.relation)
+    assert total == pytest.approx(full_price, abs=1e-6)
+    # seller_1 owns the informative features: it must earn at least as much
+    assert shares["seller_1"] >= shares["seller_0"]
+
+
+def test_engine_split_conserves(sold_mashup):
+    builder, wtp, mashup = sold_mashup
+    for method in ("provenance", "uniform", "shapley"):
+        engine = RevenueAllocationEngine(method, commission=0.1)
+        split = engine.split(
+            mashup, 100.0, wtp=wtp, resolver=builder.metadata.relation
+        )
+        assert split.conserves()
+        assert split.arbiter_fee == pytest.approx(10.0)
+        assert split.sellers_total == pytest.approx(90.0)
+        assert split.method == method
+
+
+def test_engine_validates():
+    with pytest.raises(ValuationError):
+        RevenueAllocationEngine("oracle", 0.1)
+
+
+def test_engine_shapley_needs_wtp(sold_mashup):
+    _b, _w, mashup = sold_mashup
+    engine = RevenueAllocationEngine("shapley", 0.1)
+    with pytest.raises(ValuationError, match="needs the WTP"):
+        engine.split(mashup, 100.0)

@@ -1,0 +1,248 @@
+"""Tests for auction/payment mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MechanismError
+from repro.mechanisms import (
+    Bid,
+    ExPostMechanism,
+    ExPostReport,
+    GSPAuction,
+    MyersonAuction,
+    PostedPriceMechanism,
+    RSOPAuction,
+    VickreyAuction,
+)
+
+
+def bids(*amounts):
+    return [Bid(f"b{i}", float(a)) for i, a in enumerate(amounts)]
+
+
+# -- basics --------------------------------------------------------------------
+
+
+def test_bid_validation():
+    with pytest.raises(MechanismError):
+        Bid("x", -1.0)
+
+
+def test_duplicate_bidders_rejected():
+    with pytest.raises(MechanismError, match="duplicate"):
+        VickreyAuction().run([Bid("x", 1.0), Bid("x", 2.0)])
+
+
+# -- Vickrey --------------------------------------------------------------------
+
+
+def test_vickrey_single_item():
+    out = VickreyAuction(k=1).run(bids(10, 7, 3))
+    assert out.winners == ["b0"]
+    assert out.payment_of("b0") == 7.0  # second price
+    assert out.revenue == 7.0
+
+
+def test_vickrey_k_unit_uniform_price():
+    out = VickreyAuction(k=2).run(bids(10, 7, 3, 1))
+    assert out.winners == ["b0", "b1"]
+    assert out.payment_of("b0") == out.payment_of("b1") == 3.0
+
+
+def test_vickrey_reserve():
+    out = VickreyAuction(k=1, reserve=8.0).run(bids(10, 7))
+    assert out.winners == ["b0"]
+    assert out.payment_of("b0") == 8.0  # reserve binds over the 7 bid
+    none = VickreyAuction(k=1, reserve=20.0).run(bids(10, 7))
+    assert none.winners == []
+
+
+def test_vickrey_fewer_bidders_than_units():
+    out = VickreyAuction(k=5).run(bids(10, 7))
+    assert len(out.winners) == 2
+    assert out.revenue == 0.0  # no (k+1)-th bid, no reserve
+
+
+def test_vickrey_truthfulness_dominant_strategy():
+    """Misreporting never beats truthful bidding against fixed rivals."""
+    rivals = bids(6, 4)
+    true_value = 5.0
+    def utility(bid_amount):
+        out = VickreyAuction(k=1).run(rivals + [Bid("me", bid_amount)])
+        if out.won("me"):
+            return true_value - out.payment_of("me")
+        return 0.0
+    truthful = utility(true_value)
+    for deviation in (0.0, 2.0, 4.5, 5.5, 7.0, 100.0):
+        assert utility(deviation) <= truthful + 1e-12
+
+
+def test_vickrey_validation():
+    with pytest.raises(MechanismError):
+        VickreyAuction(k=0)
+    with pytest.raises(MechanismError):
+        VickreyAuction(reserve=-1)
+
+
+# -- GSP ------------------------------------------------------------------------
+
+
+def test_gsp_positions_and_payments():
+    auction = GSPAuction(slot_weights=(1.0, 0.5))
+    out = auction.run(bids(10, 6, 2))
+    assert out.allocations["b0"] == 1.0
+    assert out.allocations["b1"] == 0.5
+    assert "b2" not in out.allocations
+    assert out.payment_of("b0") == 6.0  # next bid * weight 1.0
+    assert out.payment_of("b1") == 2.0 * 0.5
+
+
+def test_gsp_last_slot_pays_zero_without_next_bid():
+    out = GSPAuction(slot_weights=(1.0,)).run(bids(5))
+    assert out.payment_of("b0") == 0.0
+
+
+def test_gsp_is_not_truthful():
+    """Classic GSP counterexample: shading the bid increases utility."""
+    auction = GSPAuction(slot_weights=(1.0, 0.8))
+    rivals = [Bid("r1", 8.0), Bid("r2", 5.0)]
+    value = 10.0
+    def utility(amount):
+        out = auction.run(rivals + [Bid("me", amount)])
+        weight = out.allocations.get("me", 0.0)
+        return value * weight - out.payment_of("me")
+    # truthful: wins slot 1 (weight 1), pays 8 -> utility 2
+    # shading to 6: wins slot 2 (weight .8), pays .8*5=4 -> utility 4
+    assert utility(6.0) > utility(10.0)
+
+
+def test_gsp_validation():
+    with pytest.raises(MechanismError):
+        GSPAuction(slot_weights=())
+    with pytest.raises(MechanismError):
+        GSPAuction(slot_weights=(0.5, 1.0))
+    with pytest.raises(MechanismError):
+        GSPAuction(slot_weights=(1.0, -0.5))
+
+
+# -- Myerson -----------------------------------------------------------------------
+
+
+def test_myerson_reserve_binds():
+    out = MyersonAuction(reserve=5.0).run(bids(10, 3))
+    assert out.winners == ["b0"]
+    assert out.payment_of("b0") == 5.0
+    out2 = MyersonAuction(reserve=5.0).run(bids(10, 8))
+    assert out2.payment_of("b0") == 8.0
+    assert MyersonAuction(reserve=20.0).run(bids(10)).winners == []
+    with pytest.raises(MechanismError):
+        MyersonAuction(reserve=-1.0)
+
+
+# -- digital goods ------------------------------------------------------------------
+
+
+def test_posted_price_serves_everyone_at_or_above():
+    out = PostedPriceMechanism(price=5.0).run(bids(10, 5, 3))
+    assert out.winners == ["b0", "b1"]
+    assert out.revenue == 10.0
+    with pytest.raises(MechanismError):
+        PostedPriceMechanism(price=-1.0)
+
+
+def test_rsop_truthful_prices_from_other_half():
+    out = RSOPAuction(seed=3).run(bids(10, 9, 8, 7, 2, 1))
+    # every winner pays a price computed from the opposite group
+    assert out.revenue > 0
+    for bidder, paid in out.payments.items():
+        amount = next(b.amount for b in bids(10, 9, 8, 7, 2, 1)
+                      if b.bidder == bidder)
+        assert paid <= amount + 1e-9  # no winner pays above their bid
+
+
+def test_rsop_edge_cases():
+    assert RSOPAuction().run([]).winners == []
+    lone = RSOPAuction().run([Bid("solo", 7.0)])
+    assert lone.winners == ["solo"] and lone.revenue == 0.0
+
+
+def test_rsop_competitive_with_optimal_posted_revenue():
+    rng = np.random.default_rng(0)
+    amounts = rng.uniform(1, 100, size=200)
+    all_bids = [Bid(f"b{i}", float(a)) for i, a in enumerate(amounts)]
+    from repro.pricing import optimal_posted_price
+
+    opt = optimal_posted_price([b.amount for b in all_bids]).revenue
+    revenue = RSOPAuction(seed=1).run(all_bids).revenue
+    assert revenue >= 0.4 * opt  # comfortably within constant factor
+
+
+# -- ex post -------------------------------------------------------------------------
+
+
+def test_expost_truthful_config_condition():
+    assert ExPostMechanism(audit_probability=0.3, penalty_multiplier=4).is_truthful_config()
+    assert not ExPostMechanism(
+        audit_probability=0.1, penalty_multiplier=2
+    ).is_truthful_config()
+
+
+def test_expost_truthful_report_maximizes_expected_utility():
+    mech = ExPostMechanism(
+        payment_share=0.5, audit_probability=0.3, penalty_multiplier=4.0
+    )
+    assert mech.best_report(true_value=10.0) == pytest.approx(10.0)
+    # non-truthful config: best report is 0
+    cheap = ExPostMechanism(
+        payment_share=0.5, audit_probability=0.05, penalty_multiplier=2.0
+    )
+    assert cheap.best_report(true_value=10.0) == pytest.approx(0.0)
+
+
+def test_expost_charges():
+    mech = ExPostMechanism(
+        payment_share=0.5, audit_probability=1.0, penalty_multiplier=4.0
+    )
+    rng = np.random.default_rng(0)
+    honest = mech.charge(ExPostReport("h", 10.0, 10.0), rng)
+    assert honest.total == pytest.approx(5.0)
+    assert honest.penalty == 0.0
+    liar = mech.charge(ExPostReport("l", 0.0, 10.0), rng)
+    assert liar.audited and liar.penalty == pytest.approx(0.5 * 10 * 4)
+    assert liar.total > honest.total  # lying cost more under audit
+
+
+def test_expost_settle_and_validation():
+    mech = ExPostMechanism()
+    rng = np.random.default_rng(1)
+    charges = mech.settle(
+        [ExPostReport("a", 5.0, 5.0), ExPostReport("b", 2.0, 8.0)], rng
+    )
+    assert len(charges) == 2
+    with pytest.raises(MechanismError):
+        ExPostReport("x", -1.0, 1.0)
+    with pytest.raises(MechanismError):
+        ExPostMechanism(payment_share=0.0)
+    with pytest.raises(MechanismError):
+        ExPostMechanism(audit_probability=1.5)
+    with pytest.raises(MechanismError):
+        ExPostMechanism(penalty_multiplier=-1.0)
+    with pytest.raises(MechanismError):
+        mech.expected_utility(-1.0, 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amounts=st.lists(
+        st.floats(0.0, 100.0), min_size=2, max_size=12, unique=True
+    )
+)
+def test_property_vickrey_winner_never_pays_above_bid(amounts):
+    out = VickreyAuction(k=2).run(
+        [Bid(f"b{i}", a) for i, a in enumerate(amounts)]
+    )
+    for bidder in out.winners:
+        amount = amounts[int(bidder[1:])]
+        assert out.payment_of(bidder) <= amount + 1e-9

@@ -1,0 +1,129 @@
+"""Tests for the ML substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionStump,
+    KNNClassifier,
+    LogisticRegression,
+    accuracy,
+    cross_val_accuracy,
+    precision_recall_f1,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    n = 200
+    x0 = rng.normal(-2, 1, size=(n, 2))
+    x1 = rng.normal(2, 1, size=(n, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+def test_logistic_separable(blobs):
+    x, y = blobs
+    model = LogisticRegression().fit(x, y)
+    assert accuracy(y, model.predict(x)) > 0.95
+    proba = model.predict_proba(x)
+    assert np.all((proba >= 0) & (proba <= 1))
+
+
+def test_logistic_validates_shapes():
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        LogisticRegression().predict(np.zeros((1, 2)))
+
+
+def test_logistic_handles_constant_feature(blobs):
+    x, y = blobs
+    x = np.hstack([x, np.ones((x.shape[0], 1))])
+    model = LogisticRegression().fit(x, y)
+    assert accuracy(y, model.predict(x)) > 0.9
+
+
+def test_knn(blobs):
+    x, y = blobs
+    model = KNNClassifier(k=3).fit(x, y)
+    assert accuracy(y, model.predict(x)) > 0.95
+    with pytest.raises(ValueError):
+        KNNClassifier().predict(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        KNNClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_knn_k_larger_than_data():
+    x = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([0, 0, 1])
+    model = KNNClassifier(k=10).fit(x, y)
+    assert model.predict(np.array([[0.1]]))[0] == 0
+
+
+def test_stump_finds_threshold():
+    x = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0, 0, 1, 1])
+    stump = DecisionStump().fit(x, y)
+    assert accuracy(y, stump.predict(x)) == 1.0
+    assert 1.0 <= stump.threshold < 3.0
+
+
+def test_stump_inverted_labels():
+    x = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([1, 1, 0, 0])
+    stump = DecisionStump().fit(x, y)
+    assert accuracy(y, stump.predict(x)) == 1.0
+
+
+def test_stump_validates():
+    with pytest.raises(ValueError):
+        DecisionStump().fit(np.zeros((0, 1)), np.zeros(0))
+    with pytest.raises(ValueError):
+        DecisionStump().predict(np.zeros((1, 1)))
+
+
+def test_accuracy_and_prf():
+    y_true = np.array([1, 1, 0, 0])
+    y_pred = np.array([1, 0, 0, 0])
+    assert accuracy(y_true, y_pred) == pytest.approx(0.75)
+    p, r, f1 = precision_recall_f1(y_true, y_pred)
+    assert p == 1.0 and r == 0.5
+    assert f1 == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        accuracy(np.array([1]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_prf_degenerate_no_positives():
+    p, r, f1 = precision_recall_f1(np.array([0, 0]), np.array([0, 0]))
+    assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+
+def test_train_test_split(blobs):
+    x, y = blobs
+    x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.25, seed=1)
+    assert len(x_te) == 100 and len(x_tr) == 300
+    assert len(y_te) == 100
+    # deterministic under the same seed
+    again = train_test_split(x, y, test_fraction=0.25, seed=1)
+    assert np.array_equal(again[1], x_te)
+    with pytest.raises(ValueError):
+        train_test_split(x, y, test_fraction=0.0)
+    with pytest.raises(ValueError):
+        train_test_split(x[:1], y[:1])
+
+
+def test_cross_val(blobs):
+    x, y = blobs
+    score = cross_val_accuracy(lambda: LogisticRegression(epochs=100), x, y,
+                               folds=3)
+    assert score > 0.9
+    with pytest.raises(ValueError):
+        cross_val_accuracy(LogisticRegression, x, y, folds=1)

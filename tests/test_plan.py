@@ -1,0 +1,128 @@
+"""Direct tests for mashup plans (construction, execution, errors)."""
+
+import pytest
+
+from repro.errors import IntegrationError, SynthesisError
+from repro.integration import AffineMap, DictionaryMap
+from repro.mashup import JoinStep, MashupPlan, TransformStep, qualified
+from repro.relation import Column, Relation
+
+
+@pytest.fixture
+def datasets():
+    orders = Relation(
+        "orders",
+        [Column("cid", "int"), Column("amount", "float")],
+        [(1, 10.0), (2, 20.0), (2, 25.0)],
+    )
+    customers = Relation(
+        "customers",
+        [Column("cid", "int"), Column("city", "str")],
+        [(1, "oslo"), (2, "rome")],
+    )
+    return {"orders": orders, "customers": customers}
+
+
+def resolver_of(datasets):
+    return lambda name: datasets[name]
+
+
+def test_qualified_naming():
+    assert qualified("ds", "col") == "ds__col"
+
+
+def test_plan_executes_join_and_projection(datasets):
+    plan = MashupPlan(
+        base="orders",
+        joins=[JoinStep("customers", "orders__cid", "customers__cid", 0.9)],
+        output={"cid": "orders__cid", "amount": "orders__amount",
+                "city": "customers__city"},
+    )
+    out = plan.execute(resolver_of(datasets))
+    assert set(out.columns) == {"cid", "amount", "city"}
+    assert len(out) == 3
+    assert plan.sources() == ["orders", "customers"]
+    description = plan.describe()
+    assert "base: orders" in description
+    assert "join customers" in description
+    assert "confidence 0.90" in description
+
+
+def test_plan_transform_step(datasets):
+    plan = MashupPlan(
+        base="orders",
+        transforms=[TransformStep("orders__amount", "amount_eur",
+                                  AffineMap(0.9, 0.0))],
+        output={"amount_eur": "amount_eur"},
+    )
+    out = plan.execute(resolver_of(datasets))
+    assert sorted(out.column("amount_eur")) == pytest.approx(
+        [9.0, 18.0, 22.5]
+    )
+    assert "derive amount_eur" in plan.describe()
+
+
+def test_plan_transform_preserves_nulls():
+    data = Relation("d", [Column("x", "float")], [(1.0,), (None,)])
+    plan = MashupPlan(
+        base="d",
+        transforms=[TransformStep("d__x", "y", AffineMap(2.0, 0.0))],
+        output={"y": "y"},
+    )
+    out = plan.execute(lambda _n: data)
+    assert sorted(out.column("y"), key=lambda v: (v is None, v)) == [2.0, None]
+
+
+def test_plan_dictionary_transform_fails_on_unknown_value(datasets):
+    plan = MashupPlan(
+        base="customers",
+        transforms=[TransformStep("customers__city", "code",
+                                  DictionaryMap({"oslo": "OSL"}))],
+        output={"code": "code"},
+    )
+    with pytest.raises(SynthesisError, match="not in mapping table"):
+        plan.execute(resolver_of(datasets))
+
+
+def test_plan_inconsistent_join_column(datasets):
+    plan = MashupPlan(
+        base="orders",
+        joins=[JoinStep("customers", "orders__ghost", "customers__cid")],
+        output={"cid": "orders__cid"},
+    )
+    with pytest.raises(IntegrationError, match="ghost"):
+        plan.execute(resolver_of(datasets))
+    plan2 = MashupPlan(
+        base="orders",
+        joins=[JoinStep("customers", "orders__cid", "customers__ghost")],
+        output={"cid": "orders__cid"},
+    )
+    with pytest.raises(IntegrationError, match="ghost"):
+        plan2.execute(resolver_of(datasets))
+
+
+def test_plan_missing_output_column(datasets):
+    plan = MashupPlan(base="orders", output={"x": "orders__nope"})
+    with pytest.raises(IntegrationError, match="missing columns"):
+        plan.execute(resolver_of(datasets))
+
+
+def test_plan_missing_transform_source(datasets):
+    plan = MashupPlan(
+        base="orders",
+        transforms=[TransformStep("orders__nope", "y", AffineMap(1.0, 0.0))],
+        output={"y": "y"},
+    )
+    with pytest.raises(IntegrationError, match="transform source"):
+        plan.execute(resolver_of(datasets))
+
+
+def test_plan_provenance_flows_through_execution(datasets):
+    plan = MashupPlan(
+        base="orders",
+        joins=[JoinStep("customers", "orders__cid", "customers__cid")],
+        output={"amount": "orders__amount", "city": "customers__city"},
+    )
+    out = plan.execute(resolver_of(datasets))
+    for expr in out.provenance:
+        assert expr.sources() == {"orders", "customers"}

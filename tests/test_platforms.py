@@ -1,0 +1,148 @@
+"""Tests for seller/buyer platform edge paths and the barter market."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.errors import MarketError
+from repro.market import (
+    Arbiter,
+    BuyerPlatform,
+    SellerPlatform,
+    barter_market,
+)
+from repro.privacy import is_k_anonymous
+from repro.relation import Column, Relation, write_csv
+
+
+@pytest.fixture
+def pii_relation():
+    return Relation(
+        "patients",
+        [Column("name", "str"), Column("age", "int"), Column("risk", "float")],
+        [(f"person{i}", 20 + (i % 4) * 10, float(i)) for i in range(12)],
+    )
+
+
+# -- seller platform ------------------------------------------------------------
+
+
+def test_seller_package_validation(pii_relation):
+    seller = SellerPlatform("s")
+    seller.package(pii_relation)
+    with pytest.raises(MarketError, match="already packaged"):
+        seller.package(pii_relation)
+    with pytest.raises(MarketError, match="non-negative"):
+        seller.package(pii_relation.renamed("other"), reserve_price=-1.0)
+    with pytest.raises(MarketError, match="no offer"):
+        seller.offer("ghost")
+
+
+def test_seller_package_csv_dir(tmp_path, pii_relation):
+    write_csv(pii_relation, str(tmp_path / "patients.csv"))
+    write_csv(
+        pii_relation.project(["age"]).renamed("ages"),
+        str(tmp_path / "ages.csv"),
+    )
+    seller = SellerPlatform("lake_steward")
+    offers = seller.package_csv_dir(str(tmp_path))
+    assert [o.relation.name for o in offers] == ["ages", "patients"]
+
+
+def test_seller_anonymized_offer(pii_relation):
+    seller = SellerPlatform("s")
+    seller.package(pii_relation)
+    offer = seller.anonymized_offer(
+        "patients", quasi_identifiers=["age"], k=3, suppress=["name"]
+    )
+    assert "name" not in offer.relation.schema
+    assert is_k_anonymous(offer.relation, ["age"], 3)
+    # the offer keeps its market-facing name and provenance root
+    assert offer.relation.name == "patients"
+    assert offer.relation.provenance[0].sources() == {"patients"}
+
+
+def test_seller_dp_offer_tracks_budget(pii_relation):
+    seller = SellerPlatform("s", privacy_budget=2.0)
+    seller.package(pii_relation)
+    rng = np.random.default_rng(0)
+    original = list(pii_relation.column("risk"))
+    offer = seller.dp_offer("patients", "risk", epsilon=1.0, rng=rng)
+    assert seller.accountant.remaining("patients") == pytest.approx(1.0)
+    assert offer.relation.column("risk") != original  # noise applied
+
+
+# -- buyer platform -------------------------------------------------------------
+
+
+def test_buyer_rejects_foreign_wtp():
+    world = make_classification_world(n_entities=60, seed=1)
+    b1 = BuyerPlatform("b1")
+    b2 = BuyerPlatform("b2")
+    wtp = b1.classification_wtp(
+        labels=world.label_relation, features=["f0"],
+        price_steps=[(0.5, 10.0)],
+    )
+    arbiter = Arbiter(barter_market())
+    arbiter.register_participant("b2")
+    with pytest.raises(MarketError, match="signed by"):
+        b2.submit(arbiter, wtp)
+
+
+def test_buyer_latest_requires_delivery():
+    buyer = BuyerPlatform("b")
+    with pytest.raises(MarketError, match="no deliveries"):
+        _ = buyer.latest
+
+
+def test_buyer_wtp_builders_produce_valid_functions():
+    world = make_classification_world(n_entities=60, seed=1)
+    buyer = BuyerPlatform("b")
+    for wtp in (
+        buyer.classification_wtp(
+            labels=world.label_relation, features=["f0"],
+            price_steps=[(0.5, 10.0)],
+        ),
+        buyer.completeness_wtp([1, 2], ["f0"], [(0.5, 5.0)]),
+        buyer.aggregate_wtp("f0", 0.0, [(0.9, 5.0)]),
+        buyer.exploration_wtp(["f0"], max_budget=20.0),
+    ):
+        assert wtp.buyer == "b"
+        assert wtp.curve.max_price > 0
+        assert wtp.attributes
+
+
+# -- barter market end to end ------------------------------------------------------
+
+
+def test_barter_market_data_for_credits_cycle():
+    """Hospitals exchange data: credits earned by sharing fund purchases."""
+    world = make_classification_world(
+        n_entities=200,
+        feature_weights=(2.0, 2.0),
+        dataset_features=((0,), (1,)),
+        seed=12,
+    )
+    design = barter_market(grant=2.0)
+    arbiter = Arbiter(design)
+    # hospital A shares f0; hospital B shares f1
+    for i, name in enumerate(("hospital_a", "hospital_b")):
+        seller = SellerPlatform(name)
+        seller.package(world.datasets[i])
+        seller.share_all(arbiter)
+    # hospital A buys B's data with its credits (grant covers price 1.0)
+    buyer_a = BuyerPlatform("hospital_a")
+    arbiter.attach_buyer_platform(buyer_a)
+    wtp = buyer_a.completeness_wtp(
+        wanted_keys=list(range(100)),
+        attributes=["f1"],
+        price_steps=[(0.5, design.mechanism.price)],
+    )
+    buyer_a.submit(arbiter, wtp)
+    result = arbiter.run_round()
+    assert result.transactions == 1
+    assert arbiter.ledger.unit == "credits"
+    # A paid 1 credit; B earned it (uniform sharing, 0 commission)
+    assert arbiter.ledger.balance("hospital_b") == pytest.approx(3.0)
+    assert arbiter.ledger.balance("hospital_a") == pytest.approx(1.0)
+    assert arbiter.ledger.conservation_check()

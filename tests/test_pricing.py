@@ -1,0 +1,252 @@
+"""Tests for query pricing, revenue optimization, tatonnement, ε-pricing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PricingError
+from repro.pricing import (
+    ArbitrageFreePricer,
+    NaivePricer,
+    PrivacyPriceMenu,
+    bundle,
+    clearing_price_bounds,
+    demand_from_valuations,
+    exhaustive_arbitrage_search,
+    myerson_reserve,
+    myerson_reserve_exponential,
+    myerson_reserve_uniform,
+    optimal_posted_price,
+    revenue_curve,
+    tatonnement,
+    virtual_value,
+)
+from repro.privacy import PrivacyAccountant
+
+
+# -- arbitrage-free query pricing ------------------------------------------------
+
+
+@pytest.fixture
+def bundles():
+    return [
+        bundle("col_a", ["a"], 10.0),
+        bundle("col_b", ["b"], 10.0),
+        bundle("col_c", ["c"], 10.0),
+        bundle("combo_abc", ["a", "b", "c"], 40.0),  # overpriced bundle
+        bundle("combo_ab", ["a", "b"], 15.0),  # discounted pair
+    ]
+
+
+def test_cover_pricing_picks_cheapest(bundles):
+    pricer = ArbitrageFreePricer(bundles)
+    assert pricer.price(["a"]) == 10.0
+    assert pricer.price(["a", "b"]) == 15.0  # combo beats 2 singles
+    assert pricer.price(["a", "b", "c"]) == 25.0  # combo_ab + col_c < 40
+    assert pricer.price([]) == 0.0
+
+
+def test_cover_pricing_unknown_atom(bundles):
+    with pytest.raises(PricingError, match="not offered"):
+        ArbitrageFreePricer(bundles).price(["zzz"])
+
+
+def test_price_with_cover_returns_bundles(bundles):
+    cost, cover = ArbitrageFreePricer(bundles).price_with_cover(
+        ["a", "b", "c"]
+    )
+    assert cost == 25.0
+    assert {b.name for b in cover} == {"combo_ab", "col_c"}
+
+
+def test_arbitrage_detection(bundles):
+    pricer = ArbitrageFreePricer(bundles)
+    opportunities = pricer.arbitrage_opportunities()
+    names = {b.name for b, _alt in opportunities}
+    assert "combo_abc" in names  # 40 > 25 cover
+    assert not pricer.is_arbitrage_free_pricelist()
+    sane = ArbitrageFreePricer(
+        [bundle("a", ["a"], 10.0), bundle("b", ["b"], 5.0)]
+    )
+    assert sane.is_arbitrage_free_pricelist()
+
+
+def test_closure_is_subadditive_and_monotone(bundles):
+    pricer = ArbitrageFreePricer(bundles)
+    violations = exhaustive_arbitrage_search(pricer, ["a", "b", "c"])
+    assert violations == []  # closure prices admit no split arbitrage
+    assert pricer.check_monotone_sample(["a", "b", "c"])
+
+
+def test_naive_pricer_is_arbitrageable(bundles):
+    naive = NaivePricer(bundles)
+    assert naive.price(["a", "b", "c"]) == 40.0  # sticker price
+    violations = exhaustive_arbitrage_search(naive, ["a", "b", "c"])
+    assert violations  # buying parts is cheaper: arbitrage exists
+    with pytest.raises(PricingError):
+        naive.price(["a", "zzz"])
+
+
+def test_bundle_validation():
+    with pytest.raises(PricingError):
+        bundle("x", [], 1.0)
+    with pytest.raises(PricingError):
+        bundle("x", ["a"], -1.0)
+    with pytest.raises(PricingError):
+        ArbitrageFreePricer([])
+    with pytest.raises(PricingError):
+        ArbitrageFreePricer([bundle("x", ["a"], 1.0), bundle("x", ["b"], 1.0)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    prices=st.lists(st.floats(0.1, 50.0), min_size=3, max_size=3),
+    pair_price=st.floats(0.1, 120.0),
+)
+def test_property_closure_never_exceeds_parts(prices, pair_price):
+    """Property: closure price of a union <= sum of closure prices."""
+    pricer = ArbitrageFreePricer(
+        [
+            bundle("a", ["a"], prices[0]),
+            bundle("b", ["b"], prices[1]),
+            bundle("c", ["c"], prices[2]),
+            bundle("ab", ["a", "b"], pair_price),
+        ]
+    )
+    whole = pricer.price(["a", "b", "c"])
+    assert whole <= pricer.price(["a", "b"]) + pricer.price(["c"]) + 1e-9
+    assert whole <= sum(prices) + 1e-9
+
+
+# -- revenue optimization ----------------------------------------------------------
+
+
+def test_optimal_posted_price():
+    result = optimal_posted_price([1.0, 2.0, 3.0, 10.0])
+    # candidates: 1*4=4, 2*3=6, 3*2=6, 10*1=10 -> price 10
+    assert result.price == 10.0 and result.revenue == 10.0
+    result = optimal_posted_price([5.0, 5.0, 5.0])
+    assert result.price == 5.0 and result.revenue == 15.0
+    with pytest.raises(PricingError):
+        optimal_posted_price([])
+    with pytest.raises(PricingError):
+        optimal_posted_price([-1.0])
+
+
+def test_revenue_curve():
+    curve = revenue_curve([1.0, 2.0, 3.0], grid=[0.5, 1.5, 2.5, 3.5])
+    assert curve[0] == (0.5, 1.5)  # 3 buyers * 0.5
+    assert curve[-1] == (3.5, 0.0)
+
+
+def test_myerson_uniform_closed_form():
+    assert myerson_reserve_uniform(0.0, 1.0) == pytest.approx(0.5)
+    assert myerson_reserve_uniform(0.8, 1.0) == pytest.approx(0.8)
+    with pytest.raises(PricingError):
+        myerson_reserve_uniform(1.0, 1.0)
+
+
+def test_myerson_numeric_matches_uniform():
+    cdf = lambda v: v
+    pdf = lambda v: 1.0
+    assert myerson_reserve(cdf, pdf, 1e-6, 1.0) == pytest.approx(0.5, abs=1e-6)
+
+
+def test_myerson_numeric_matches_exponential():
+    rate = 2.0
+    cdf = lambda v: 1.0 - math.exp(-rate * v)
+    pdf = lambda v: rate * math.exp(-rate * v)
+    numeric = myerson_reserve(cdf, pdf, 1e-6, 10.0)
+    assert numeric == pytest.approx(myerson_reserve_exponential(rate), abs=1e-6)
+
+
+def test_virtual_value():
+    assert virtual_value(0.5, lambda v: v, lambda v: 1.0) == pytest.approx(0.0)
+    with pytest.raises(PricingError):
+        virtual_value(0.5, lambda v: v, lambda v: 0.0)
+
+
+# -- tatonnement --------------------------------------------------------------------
+
+
+def test_tatonnement_converges_to_clearing_band():
+    valuations = [float(v) for v in range(1, 101)]  # 1..100
+    demand = demand_from_valuations(valuations)
+    supply = 20
+    result = tatonnement(demand, supply, initial_price=1.0)
+    assert result.converged
+    lower, upper = clearing_price_bounds(valuations, supply)
+    assert lower * 0.9 <= result.price <= upper * 1.1
+
+
+def test_tatonnement_tracks_demand_not_quality():
+    # same per-buyer valuations, but the hot dataset has 25x the buyers
+    hot = demand_from_valuations([float(v) for v in range(1, 51)])
+    cold = demand_from_valuations([1.0, 2.0])
+    p_hot = tatonnement(hot, supply=1, initial_price=0.5).price
+    p_cold = tatonnement(cold, supply=1, initial_price=0.5).price
+    assert p_hot > p_cold
+
+
+def test_tatonnement_validates():
+    demand = demand_from_valuations([1.0])
+    with pytest.raises(PricingError):
+        tatonnement(demand, supply=-1)
+    with pytest.raises(PricingError):
+        tatonnement(demand, supply=1, initial_price=0.0)
+    with pytest.raises(PricingError):
+        tatonnement(demand, supply=1, learning_rate=1.5)
+    with pytest.raises(PricingError):
+        demand_from_valuations([])
+
+
+def test_clearing_price_bounds():
+    lower, upper = clearing_price_bounds([1.0, 5.0, 9.0], supply=1)
+    assert (lower, upper) == (5.0, 9.0)
+    lower, upper = clearing_price_bounds([1.0, 5.0, 9.0], supply=3)
+    assert (lower, upper) == (0.0, 1.0)
+    with pytest.raises(PricingError):
+        clearing_price_bounds([1.0], supply=2)
+
+
+# -- privacy pricing ---------------------------------------------------------------
+
+
+def test_privacy_menu_monotone_concave():
+    menu = PrivacyPriceMenu("ds", clean_price=100.0, epsilon_half=1.0)
+    p1, p2, p4 = (menu.price_for_epsilon(e) for e in (1.0, 2.0, 4.0))
+    assert p1 < p2 < p4 < 100.0
+    assert p2 - p1 > p4 - p2  # concave: early epsilon buys more
+    assert menu.price_for_epsilon(1.0) == pytest.approx(50.0)
+
+
+def test_privacy_menu_inverse():
+    menu = PrivacyPriceMenu("ds", clean_price=100.0, epsilon_half=2.0)
+    eps = menu.epsilon_for_budget(40.0)
+    assert menu.price_for_epsilon(eps) == pytest.approx(40.0)
+    with pytest.raises(PricingError):
+        menu.epsilon_for_budget(150.0)
+    with pytest.raises(PricingError):
+        menu.epsilon_for_budget(0.0)
+
+
+def test_privacy_menu_respects_accountant():
+    menu = PrivacyPriceMenu("ds", clean_price=100.0)
+    accountant = PrivacyAccountant()
+    accountant.register("ds", 1.0)
+    quote = menu.quote(0.5, accountant)
+    assert quote.epsilon == 0.5
+    with pytest.raises(PricingError, match="budget"):
+        menu.quote(2.0, accountant)
+
+
+def test_privacy_menu_validation():
+    with pytest.raises(PricingError):
+        PrivacyPriceMenu("ds", clean_price=-1.0)
+    with pytest.raises(PricingError):
+        PrivacyPriceMenu("ds", clean_price=1.0, epsilon_half=0.0)
+    menu = PrivacyPriceMenu("ds", clean_price=1.0)
+    with pytest.raises(PricingError):
+        menu.price_for_epsilon(0.0)

@@ -1,0 +1,185 @@
+"""Tests for DP mechanisms, k-anonymity and the privacy accountant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExhaustedError, PrivacyError
+from repro.privacy import (
+    PrivacyAccountant,
+    anonymize,
+    dp_count,
+    dp_histogram,
+    dp_mean,
+    equivalence_classes,
+    gaussian_mechanism,
+    generalize_numeric,
+    is_k_anonymous,
+    laplace_mechanism,
+    perturb_numeric_column,
+    randomized_response,
+    rr_unbias,
+    suppress_columns,
+)
+from repro.relation import Relation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_laplace_noise_scales_with_epsilon(rng):
+    tight = [laplace_mechanism(0.0, 1.0, 10.0, rng) for _ in range(500)]
+    loose = [laplace_mechanism(0.0, 1.0, 0.1, rng) for _ in range(500)]
+    assert np.std(tight) < np.std(loose)
+
+
+def test_laplace_validates(rng):
+    with pytest.raises(PrivacyError):
+        laplace_mechanism(0.0, 1.0, 0.0, rng)
+    with pytest.raises(PrivacyError):
+        laplace_mechanism(0.0, -1.0, 1.0, rng)
+
+
+def test_gaussian_validates(rng):
+    out = gaussian_mechanism(5.0, 1.0, 1.0, 1e-5, rng)
+    assert isinstance(out, float)
+    with pytest.raises(PrivacyError):
+        gaussian_mechanism(0.0, 1.0, 1.0, 0.0, rng)
+    with pytest.raises(PrivacyError):
+        gaussian_mechanism(0.0, 1.0, -1.0, 0.5, rng)
+
+
+def test_randomized_response_debias(rng):
+    true_fraction = 0.3
+    n = 4000
+    answers = [
+        randomized_response(i < n * true_fraction, 1.0, rng)
+        for i in range(n)
+    ]
+    observed = sum(answers) / n
+    estimate = rr_unbias(observed, 1.0)
+    assert estimate == pytest.approx(true_fraction, abs=0.06)
+
+
+def test_dp_count_and_mean(rng):
+    rel = Relation("r", [("x", "float")], [(float(i),) for i in range(100)])
+    assert dp_count(rel, 5.0, rng) == pytest.approx(100, abs=5)
+    assert dp_mean(rel, "x", 5.0, rng, 0.0, 100.0) == pytest.approx(
+        49.5, abs=5
+    )
+    with pytest.raises(PrivacyError):
+        dp_mean(rel, "x", 1.0, rng, 10.0, 10.0)
+    empty = Relation("e", [("x", "float")], [(None,)])
+    with pytest.raises(PrivacyError):
+        dp_mean(empty, "x", 1.0, rng, 0.0, 1.0)
+
+
+def test_dp_histogram_nonnegative(rng):
+    rel = Relation("r", [("c", "str")], [("a",)] * 50 + [("b",)] * 5)
+    hist = dp_histogram(rel, "c", 1.0, rng)
+    assert set(hist) == {"a", "b"}
+    assert all(v >= 0 for v in hist.values())
+    assert hist["a"] == pytest.approx(50, abs=10)
+
+
+def test_perturb_numeric_column_noise_decreases_with_epsilon(rng):
+    rel = Relation("r", [("x", "float")], [(0.0,)] * 400)
+    noisy_lo = perturb_numeric_column(rel, "x", 0.2, rng)
+    noisy_hi = perturb_numeric_column(rel, "x", 20.0, rng)
+    err_lo = np.mean([abs(v) for v in noisy_lo.column("x")])
+    err_hi = np.mean([abs(v) for v in noisy_hi.column("x")])
+    assert err_hi < err_lo
+    assert "eps=" in noisy_lo.name
+    # nulls survive untouched
+    with_null = Relation("r", [("x", "float")], [(None,), (1.0,)])
+    out = perturb_numeric_column(with_null, "x", 1.0, rng)
+    assert out.rows[0][0] is None
+
+
+# -- k-anonymity -------------------------------------------------------------
+
+
+@pytest.fixture
+def medical():
+    return Relation(
+        "medical",
+        [("name", "str"), ("age", "int"), ("zip", "int"), ("diagnosis", "str")],
+        [
+            ("ann", 34, 10001, "flu"),
+            ("bob", 36, 10001, "flu"),
+            ("cyd", 35, 10002, "cold"),
+            ("dan", 61, 20001, "flu"),
+            ("eve", 63, 20002, "cold"),
+            ("fay", 62, 20001, "flu"),
+        ],
+    )
+
+
+def test_equivalence_classes_and_check(medical):
+    no_ids = medical.drop(["name"])
+    classes = equivalence_classes(no_ids, ["age", "zip"])
+    assert max(classes.values()) == 1
+    assert not is_k_anonymous(no_ids, ["age", "zip"], 2)
+    assert is_k_anonymous(no_ids, [], 6) if len(no_ids) else True
+    with pytest.raises(PrivacyError):
+        is_k_anonymous(no_ids, ["age"], 0)
+
+
+def test_generalize_numeric(medical):
+    out = generalize_numeric(medical, "age", 10.0)
+    assert out.column("age")[0] == "[30, 40)"
+    with pytest.raises(PrivacyError):
+        generalize_numeric(medical, "age", 0.0)
+
+
+def test_suppress_columns(medical):
+    out = suppress_columns(medical, ["name"])
+    assert "name" not in out.schema
+
+
+def test_anonymize_achieves_k(medical):
+    out = anonymize(
+        medical, quasi_identifiers=["age", "zip"], k=2, suppress=["name"]
+    )
+    assert "name" not in out.schema
+    assert is_k_anonymous(out, ["age", "zip"], 2)
+    assert len(out) >= 2  # useful data survives
+
+
+def test_anonymize_impossible_k(medical):
+    with pytest.raises(PrivacyError):
+        anonymize(medical, ["age"], k=100, suppress=["name"])
+    with pytest.raises(PrivacyError):
+        anonymize(medical, ["age"], k=0)
+
+
+# -- accountant -----------------------------------------------------------------
+
+
+def test_accountant_lifecycle():
+    acc = PrivacyAccountant()
+    acc.register("ds", 1.0)
+    assert "ds" in acc
+    assert acc.can_spend("ds", 0.6)
+    acc.spend("ds", 0.6, purpose="histogram")
+    assert acc.remaining("ds") == pytest.approx(0.4)
+    assert acc.spent("ds") == pytest.approx(0.6)
+    assert acc.history("ds") == [("histogram", 0.6)]
+    with pytest.raises(BudgetExhaustedError):
+        acc.spend("ds", 0.5)
+    acc.spend("ds", 0.4)
+    assert acc.remaining("ds") == pytest.approx(0.0)
+
+
+def test_accountant_validates():
+    acc = PrivacyAccountant()
+    with pytest.raises(PrivacyError):
+        acc.register("ds", 0.0)
+    acc.register("ds", 1.0)
+    with pytest.raises(PrivacyError):
+        acc.register("ds", 1.0)
+    with pytest.raises(PrivacyError):
+        acc.spend("ds", -0.1)
+    with pytest.raises(PrivacyError):
+        acc.remaining("ghost")

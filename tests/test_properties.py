@@ -1,0 +1,248 @@
+"""Property-based tests of cross-module invariants (hypothesis).
+
+These pin down the algebraic laws the platform's correctness rests on:
+relational-algebra/provenance identities, money conservation, pricing
+monotonicity/subadditivity, mechanism rationality, and anonymization
+post-conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientFundsError, PricingError
+from repro.market import Ledger
+from repro.mechanisms import Bid, RSOPAuction, VickreyAuction
+from repro.pricing import ArbitrageFreePricer, bundle, optimal_posted_price
+from repro.privacy import anonymize, is_k_anonymous
+from repro.relation import Relation, source_shares, token_shares
+from repro.wtp import PriceCurve
+
+# ---------------------------------------------------------------------------
+# relation / provenance laws
+# ---------------------------------------------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 100)),
+    min_size=0,
+    max_size=25,
+)
+
+
+def rel_of(name: str, rows) -> Relation:
+    return Relation(name, [("k", "int"), ("v", "int")], rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=rows_strategy, right=rows_strategy)
+def test_join_cardinality_matches_key_histogram(left, right):
+    """|A ⋈ B| = Σ_k count_A(k)·count_B(k) — the hash join is exact."""
+    a, b = rel_of("a", left), rel_of("b", right)
+    joined = a.join(b, on=[("k", "k")])
+    hist_a: dict[int, int] = {}
+    hist_b: dict[int, int] = {}
+    for k, _v in left:
+        hist_a[k] = hist_a.get(k, 0) + 1
+    for k, _v in right:
+        hist_b[k] = hist_b.get(k, 0) + 1
+    expected = sum(hist_a.get(k, 0) * hist_b[k] for k in hist_b)
+    assert len(joined) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=rows_strategy, right=rows_strategy)
+def test_join_is_commutative_on_content(left, right):
+    a, b = rel_of("a", left), rel_of("b", right)
+    ab = a.join(b, on=[("k", "k")]).project(["k"])
+    ba = b.join(a, on=[("k", "k")]).project(["k"])
+    assert sorted(ab.column("k")) == sorted(ba.column("k"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_select_then_union_partitions(rows):
+    """σ_p(R) ∪ σ_¬p(R) has exactly R's rows."""
+    r = rel_of("r", rows)
+    lo = r.select(lambda rec: rec["v"] < 50)
+    hi = r.select(lambda rec: rec["v"] >= 50)
+    assert lo.union(hi) == r
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=rows_strategy, right=rows_strategy)
+def test_provenance_shares_sum_to_row_count(left, right):
+    """Every derived row distributes exactly one unit of responsibility."""
+    a, b = rel_of("a", left), rel_of("b", right)
+    joined = a.join(b, on=[("k", "k")])
+    if len(joined) == 0:
+        return
+    shares = source_shares(joined.provenance)
+    assert sum(shares.values()) == pytest.approx(len(joined))
+    for expr in joined.provenance:
+        assert sum(token_shares(expr).values()) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_distinct_is_idempotent_and_preserves_sets(rows):
+    r = rel_of("r", rows)
+    d1 = r.distinct()
+    assert d1.distinct() == d1
+    assert set(map(tuple, d1.rows)) == set(map(tuple, r.rows))
+
+
+# ---------------------------------------------------------------------------
+# ledger conservation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["mint", "transfer"]),
+            st.integers(0, 3),
+            st.integers(0, 3),
+            st.floats(0.0, 100.0),
+        ),
+        max_size=30,
+    )
+)
+def test_ledger_conserves_under_random_operations(ops):
+    ledger = Ledger()
+    for i in range(4):
+        ledger.open_account(f"acc{i}")
+    for op, src, dst, amount in ops:
+        if op == "mint":
+            ledger.mint(f"acc{dst}", amount)
+        else:
+            try:
+                ledger.transfer(f"acc{src}", f"acc{dst}", amount)
+            except InsufficientFundsError:
+                pass
+    assert ledger.conservation_check()
+    for i in range(4):
+        assert ledger.balance(f"acc{i}") >= -1e-9
+
+
+# ---------------------------------------------------------------------------
+# pricing laws
+# ---------------------------------------------------------------------------
+
+catalog_strategy = st.lists(
+    st.tuples(
+        st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1),
+        st.floats(0.1, 50.0),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(catalog=catalog_strategy)
+def test_closure_pricing_monotone_and_subadditive(catalog):
+    bundles = [
+        bundle(f"x{i}", atoms, price)
+        for i, (atoms, price) in enumerate(catalog)
+    ]
+    pricer = ArbitrageFreePricer(bundles)
+    universe = sorted(pricer.universe)
+    # monotone: dropping an atom never raises the price
+    try:
+        total = pricer.price(universe)
+    except PricingError:
+        return
+    for i in range(len(universe)):
+        rest = universe[:i] + universe[i + 1 :]
+        if rest:
+            assert pricer.price(rest) <= total + 1e-9
+    # subadditive: any 2-partition costs at least the whole
+    if len(universe) >= 2:
+        left, right = universe[:1], universe[1:]
+        assert total <= pricer.price(left) + pricer.price(right) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    valuations=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=40)
+)
+def test_optimal_posted_price_is_argmax(valuations):
+    result = optimal_posted_price(valuations)
+    vals = sorted(valuations)
+    for p in vals:
+        revenue = p * sum(1 for v in vals if v >= p)
+        assert result.revenue >= revenue - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# mechanism rationality
+# ---------------------------------------------------------------------------
+
+bids_strategy = st.lists(
+    st.floats(0.0, 100.0), min_size=1, max_size=15
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(amounts=bids_strategy, k=st.integers(1, 4))
+def test_vickrey_individual_rationality_and_uniform_price(amounts, k):
+    bids = [Bid(f"b{i}", a) for i, a in enumerate(amounts)]
+    outcome = VickreyAuction(k=k).run(bids)
+    payments = {outcome.payment_of(w) for w in outcome.winners}
+    assert len(payments) <= 1  # uniform price
+    for w in outcome.winners:
+        assert outcome.payment_of(w) <= amounts[int(w[1:])] + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(amounts=bids_strategy, seed=st.integers(0, 5))
+def test_rsop_individual_rationality(amounts, seed):
+    bids = [Bid(f"b{i}", a) for i, a in enumerate(amounts)]
+    outcome = RSOPAuction(seed=seed).run(bids)
+    for w in outcome.winners:
+        assert outcome.payment_of(w) <= amounts[int(w[1:])] + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# price curves and anonymity
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    thresholds=st.lists(
+        st.floats(0.01, 0.99), min_size=1, max_size=5, unique=True
+    ),
+    s1=st.floats(0.0, 1.0),
+    s2=st.floats(0.0, 1.0),
+)
+def test_price_curve_monotone_in_satisfaction(thresholds, s1, s2):
+    steps = tuple(
+        (t, 10.0 * (i + 1)) for i, t in enumerate(sorted(thresholds))
+    )
+    curve = PriceCurve(steps)
+    lo, hi = min(s1, s2), max(s1, s2)
+    assert curve.price_for(lo) <= curve.price_for(hi)
+    assert curve.price_for(1.0) == curve.max_price
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ages=st.lists(st.integers(18, 90), min_size=4, max_size=30),
+    k=st.integers(2, 4),
+)
+def test_anonymize_postcondition(ages, k):
+    rel = Relation(
+        "people",
+        [("name", "str"), ("age", "int")],
+        [(f"p{i}", a) for i, a in enumerate(ages)],
+    )
+    if k > len(rel):
+        return
+    out = anonymize(rel, quasi_identifiers=["age"], k=k, suppress=["name"])
+    assert "name" not in out.schema
+    assert is_k_anonymous(out, ["age"], k)

@@ -1,0 +1,93 @@
+"""Unit tests for semiring provenance."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.relation import (
+    ProvOne,
+    ProvToken,
+    derivation_count,
+    evaluate,
+    plus,
+    source_shares,
+    times,
+    token_shares,
+)
+
+
+def tok(s, i):
+    return ProvToken(s, i)
+
+
+def test_times_drops_identity_and_flattens():
+    t = times(ProvOne(), tok("a", 0), times(tok("b", 1), tok("c", 2)))
+    assert {x.source for x in t.tokens()} == {"a", "b", "c"}
+    assert isinstance(times(), ProvOne)
+    assert times(tok("a", 0)) == tok("a", 0)
+
+
+def test_plus_flattens_and_rejects_empty():
+    p = plus(tok("a", 0), plus(tok("b", 1), tok("c", 2)))
+    assert len(p.children) == 3
+    with pytest.raises(ProvenanceError):
+        plus()
+    assert plus(tok("a", 0)) == tok("a", 0)
+
+
+def test_evaluate_counting_semiring():
+    # (a0 * b0) + (a1 * b1): two derivations
+    expr = plus(times(tok("a", 0), tok("b", 0)), times(tok("a", 1), tok("b", 1)))
+    assert derivation_count(expr) == 2
+
+
+def test_evaluate_custom_semiring_boolean():
+    expr = plus(times(tok("a", 0), tok("b", 0)), tok("c", 1))
+    # boolean semiring: is the tuple derivable if dataset a is removed?
+    present = lambda t: 0.0 if t.source == "a" else 1.0
+    val = evaluate(expr, present, add=max, mul=min, one=1.0, zero=0.0)
+    assert val == 1.0  # still derivable through c
+    only_ab = lambda t: 0.0 if t.source == "c" else 1.0
+    assert evaluate(expr, only_ab, add=max, mul=min) == 1.0
+    nothing = lambda t: 0.0
+    assert evaluate(expr, nothing, add=max, mul=min) == 0.0
+
+
+def test_token_shares_product_splits_equally():
+    shares = token_shares(times(tok("a", 0), tok("b", 0)))
+    assert shares[tok("a", 0)] == pytest.approx(0.5)
+    assert shares[tok("b", 0)] == pytest.approx(0.5)
+
+
+def test_token_shares_sum_splits_over_alternatives():
+    expr = plus(tok("a", 0), times(tok("b", 0), tok("c", 0)))
+    shares = token_shares(expr)
+    assert shares[tok("a", 0)] == pytest.approx(0.5)
+    assert shares[tok("b", 0)] == pytest.approx(0.25)
+    assert shares[tok("c", 0)] == pytest.approx(0.25)
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_token_shares_one_is_empty():
+    assert token_shares(ProvOne()) == {}
+
+
+def test_token_shares_always_sum_to_one():
+    expr = plus(
+        times(tok("a", 0), tok("a", 1), tok("b", 0)),
+        plus(tok("c", 0), tok("c", 1)),
+    )
+    assert sum(token_shares(expr).values()) == pytest.approx(1.0)
+
+
+def test_source_shares_groups_by_dataset():
+    rows = [times(tok("a", 0), tok("b", 0)), tok("a", 1)]
+    shares = source_shares(rows)
+    assert shares["a"] == pytest.approx(1.5)
+    assert shares["b"] == pytest.approx(0.5)
+    assert sum(shares.values()) == pytest.approx(2.0)
+
+
+def test_sources_and_repr():
+    expr = times(tok("x", 0), tok("y", 3))
+    assert expr.sources() == {"x", "y"}
+    assert "x#0" in repr(expr)

@@ -1,0 +1,104 @@
+"""Additional edge-case coverage for the relational substrate."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation import Column, ProvOne, Relation, Schema
+
+
+@pytest.fixture
+def people():
+    return Relation(
+        "people",
+        [("id", "int"), ("name", "str"), ("age", "int")],
+        [(1, "ann", 34), (2, "bob", 28), (3, "ann", 28)],
+    )
+
+
+def test_row_dict(people):
+    assert people.row_dict(1) == {"id": 2, "name": "bob", "age": 28}
+
+
+def test_order_by_multiple_columns(people):
+    ordered = people.order_by(["name", "age"])
+    assert ordered.column("id") == [3, 1, 2]  # ann/28, ann/34, bob/28
+
+
+def test_empty_relation_operations():
+    empty = Relation.empty("e", [("a", "int"), ("b", "str")])
+    assert len(empty) == 0
+    assert empty.project(["a"]).columns == ("a",)
+    assert len(empty.select(lambda r: True)) == 0
+    assert len(empty.distinct()) == 0
+    assert empty.aggregate(["a"], {"n": ("*", "count")}).rows == ()
+    other = Relation("o", [("a", "int"), ("c", "str")], [(1, "x")])
+    assert len(empty.join(other, on=[("a", "a")])) == 0
+    assert empty.content_hash() != other.content_hash()
+
+
+def test_join_on_mixed_numeric_types():
+    ints = Relation("i", [("k", "int")], [(1,), (2,)])
+    floats = Relation("f", [("k", "float"), ("v", "str")],
+                      [(1.0, "one"), (3.0, "three")])
+    joined = ints.join(floats, on=[("k", "k")])
+    assert len(joined) == 1
+    assert joined.rows[0] == (1, "one")
+
+
+def test_union_preserves_duplicates_and_provenance(people):
+    u = people.union(people)
+    assert len(u) == 6
+    assert u.provenance[0] == u.provenance[3]  # same base token twice
+
+
+def test_extend_then_drop_roundtrip(people):
+    extended = people.extend(Column("adult", "bool"),
+                             lambda r: r["age"] >= 30)
+    assert extended.column("adult") == [True, False, False]
+    assert extended.drop(["adult"]) == people
+
+
+def test_without_provenance_yields_prov_one(people):
+    bare = people.without_provenance()
+    assert all(isinstance(p, ProvOne) for p in bare.provenance)
+
+
+def test_schema_mismatch_in_explicit_provenance():
+    with pytest.raises(SchemaError, match="provenance vector"):
+        Relation("r", [("a", "int")], [(1,)], provenance=[])
+
+
+def test_where_on_missing_column_raises(people):
+    from repro.errors import UnknownColumnError
+
+    with pytest.raises(UnknownColumnError):
+        people.where(ghost=1)
+
+
+def test_map_column_allows_type_change(people):
+    mapped = people.map_column("age", lambda a: f"{a}y")
+    assert mapped.column("age") == ["34y", "28y", "28y"]
+    assert mapped.schema["age"].dtype == "any"
+
+
+def test_aggregate_min_max_first():
+    r = Relation(
+        "r",
+        [("g", "str"), ("x", "int")],
+        [("a", 3), ("a", 1), ("b", 7)],
+    )
+    out = r.aggregate(
+        ["g"],
+        {"lo": ("x", "min"), "hi": ("x", "max"), "head": ("x", "first")},
+    )
+    by_g = {row["g"]: row for row in out.to_dicts()}
+    assert by_g["a"]["lo"] == 1 and by_g["a"]["hi"] == 3
+    assert by_g["a"]["head"] == 3  # first in row order
+    assert by_g["b"]["lo"] == by_g["b"]["hi"] == 7
+
+
+def test_aggregate_all_null_group():
+    r = Relation("r", [("g", "str"), ("x", "int")], [("a", None)])
+    out = r.aggregate(["g"], {"m": ("x", "mean"), "n": ("x", "count")})
+    row = out.to_dicts()[0]
+    assert row["m"] is None and row["n"] == 0

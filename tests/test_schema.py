@@ -1,0 +1,97 @@
+"""Unit tests for repro.relation.schema."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+from repro.relation import Column, Schema
+
+
+def test_column_requires_name():
+    with pytest.raises(SchemaError):
+        Column("")
+
+
+def test_column_rejects_unknown_dtype():
+    with pytest.raises(SchemaError):
+        Column("a", "decimal")
+
+
+def test_column_accepts_null_everywhere():
+    for dtype in ("int", "float", "str", "bool", "any"):
+        assert Column("a", dtype).accepts(None)
+
+
+def test_column_int_rejects_bool():
+    col = Column("a", "int")
+    assert col.accepts(3)
+    assert not col.accepts(True)
+
+
+def test_column_float_accepts_int():
+    assert Column("a", "float").accepts(3)
+    assert Column("a", "float").accepts(3.5)
+
+
+def test_column_any_accepts_everything():
+    col = Column("a", "any")
+    assert col.accepts([1, 2])
+    assert col.accepts(object())
+
+
+def test_schema_from_strings_and_tuples():
+    s = Schema(["a", ("b", "int"), Column("c", "str", "city")])
+    assert s.names == ("a", "b", "c")
+    assert s["b"].dtype == "int"
+    assert s["c"].semantic == "city"
+
+
+def test_schema_rejects_duplicates():
+    with pytest.raises(SchemaError, match="duplicate"):
+        Schema(["a", "b", "a"])
+
+
+def test_schema_position_and_contains():
+    s = Schema(["a", "b"])
+    assert s.position("b") == 1
+    assert "a" in s and "z" not in s
+    with pytest.raises(UnknownColumnError):
+        s.position("z")
+
+
+def test_schema_project_and_rename():
+    s = Schema([("a", "int"), ("b", "str")])
+    assert s.project(["b"]).names == ("b",)
+    renamed = s.rename({"a": "x"})
+    assert renamed.names == ("x", "b")
+    assert renamed["x"].dtype == "int"
+    with pytest.raises(UnknownColumnError):
+        s.rename({"zzz": "y"})
+
+
+def test_schema_concat_clash():
+    a, b = Schema(["a", "b"]), Schema(["b", "c"])
+    with pytest.raises(SchemaError, match="clash"):
+        a.concat(b)
+    assert a.concat(Schema(["c"])).names == ("a", "b", "c")
+
+
+def test_validate_row_arity_and_types():
+    s = Schema([("a", "int"), ("b", "str")])
+    s.validate_row((1, "x"))
+    s.validate_row((None, None))
+    with pytest.raises(SchemaError):
+        s.validate_row((1,))
+    with pytest.raises(TypeMismatchError):
+        s.validate_row(("oops", "x"))
+
+
+def test_with_semantic():
+    s = Schema(["a", "b"]).with_semantic("a", "price")
+    assert s["a"].semantic == "price"
+    assert s["b"].semantic is None
+
+
+def test_schema_equality_and_hash():
+    assert Schema([("a", "int")]) == Schema([("a", "int")])
+    assert Schema([("a", "int")]) != Schema([("a", "float")])
+    assert hash(Schema(["a"])) == hash(Schema(["a"]))

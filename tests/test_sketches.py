@@ -1,0 +1,153 @@
+"""Unit + property tests for MinHash, LSH, and column summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import (
+    CategoricalSummary,
+    LSHIndex,
+    MinHash,
+    NumericSummary,
+    containment,
+    jaccard_exact,
+    stable_hash,
+)
+
+
+def test_stable_hash_is_deterministic():
+    assert stable_hash("hello") == stable_hash("hello")
+    assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+    assert stable_hash("a") != stable_hash("b")
+
+
+def test_minhash_identical_sets():
+    a = MinHash.of(range(100))
+    b = MinHash.of(range(100))
+    assert a.jaccard(b) == pytest.approx(1.0)
+
+
+def test_minhash_disjoint_sets():
+    a = MinHash.of(range(100), num_perm=128)
+    b = MinHash.of(range(1000, 1100), num_perm=128)
+    assert a.jaccard(b) < 0.15
+
+
+def test_minhash_estimates_overlap():
+    a = MinHash.of(range(0, 100), num_perm=256)
+    b = MinHash.of(range(50, 150), num_perm=256)
+    exact = jaccard_exact(set(range(0, 100)), set(range(50, 150)))
+    assert a.jaccard(b) == pytest.approx(exact, abs=0.12)
+
+
+def test_minhash_empty_semantics():
+    empty1, empty2 = MinHash(), MinHash()
+    assert empty1.jaccard(empty2) == 1.0
+    full = MinHash.of([1, 2, 3])
+    assert empty1.jaccard(full) == 0.0
+
+
+def test_minhash_merge_is_union():
+    a = MinHash.of(range(0, 50), num_perm=128)
+    b = MinHash.of(range(50, 100), num_perm=128)
+    union = MinHash.of(range(0, 100), num_perm=128)
+    assert a.merge(b).jaccard(union) == pytest.approx(1.0)
+
+
+def test_minhash_width_mismatch():
+    with pytest.raises(ValueError):
+        MinHash(num_perm=32).jaccard(MinHash(num_perm=64))
+    with pytest.raises(ValueError):
+        MinHash(num_perm=32).merge(MinHash(num_perm=64))
+    with pytest.raises(ValueError):
+        MinHash(num_perm=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.sets(st.integers(0, 400), min_size=1, max_size=120),
+    b=st.sets(st.integers(0, 400), min_size=1, max_size=120),
+)
+def test_minhash_property_estimate_close(a, b):
+    """MinHash estimate stays within a coarse bound of exact Jaccard."""
+    ma = MinHash.of(a, num_perm=256)
+    mb = MinHash.of(b, num_perm=256)
+    assert ma.jaccard(mb) == pytest.approx(jaccard_exact(a, b), abs=0.2)
+
+
+def test_lsh_requires_divisible_bands():
+    with pytest.raises(ValueError):
+        LSHIndex(num_perm=64, bands=10)
+
+
+def test_lsh_add_query():
+    idx = LSHIndex(num_perm=64, bands=16)
+    idx.add("x", MinHash.of(range(100)))
+    idx.add("y", MinHash.of(range(50, 150)))
+    idx.add("z", MinHash.of(range(5000, 5100)))
+    hits = idx.query(MinHash.of(range(100)), min_jaccard=0.4)
+    names = [k for k, _s in hits]
+    assert names[0] == "x"
+    assert "z" not in names
+    assert len(idx) == 3 and "x" in idx
+
+
+def test_lsh_duplicate_key_rejected():
+    idx = LSHIndex()
+    idx.add("x", MinHash.of([1]))
+    with pytest.raises(KeyError):
+        idx.add("x", MinHash.of([2]))
+
+
+def test_lsh_similar_pairs():
+    idx = LSHIndex(num_perm=64, bands=32)
+    idx.add("a", MinHash.of(range(100)))
+    idx.add("b", MinHash.of(range(10, 110)))
+    idx.add("c", MinHash.of(range(9000, 9100)))
+    pairs = idx.similar_pairs(min_jaccard=0.5)
+    assert ({"a", "b"} in [set(p[:2]) for p in pairs])
+    assert all("c" not in p[:2] for p in pairs)
+
+
+def test_lsh_signature_width_check():
+    idx = LSHIndex(num_perm=64)
+    with pytest.raises(ValueError):
+        idx.add("x", MinHash.of([1], num_perm=32))
+
+
+def test_numeric_summary():
+    s = NumericSummary.of([1.0, 2.0, 3.0, None], bins=2)
+    assert s.count == 3 and s.nulls == 1
+    assert s.minimum == 1.0 and s.maximum == 3.0
+    assert s.mean == pytest.approx(2.0)
+    assert sum(s.bin_counts) == 3
+
+
+def test_numeric_summary_empty():
+    s = NumericSummary.of([None, None])
+    assert s.count == 0 and s.nulls == 2
+    assert np.isnan(s.mean)
+
+
+def test_numeric_overlap():
+    a = NumericSummary.of([0.0, 10.0])
+    b = NumericSummary.of([5.0, 15.0])
+    assert a.overlap(b) == pytest.approx(0.5)
+    c = NumericSummary.of([100.0, 200.0])
+    assert a.overlap(c) == 0.0
+    point = NumericSummary.of([5.0, 5.0])
+    assert point.overlap(b) == 1.0
+
+
+def test_categorical_summary():
+    s = CategoricalSummary.of(["a", "b", "a", None, "c"], top_k=2)
+    assert s.count == 4 and s.nulls == 1 and s.distinct == 3
+    assert s.top[0] == ("a", 2)
+    assert len(s.top) == 2
+    assert s.null_fraction == pytest.approx(0.2)
+
+
+def test_categorical_summary_empty():
+    s = CategoricalSummary.of([])
+    assert s.count == 0 and s.null_fraction == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the streaming (dynamic-arrival) market simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mechanisms import PostedPriceMechanism, VickreyAuction
+from repro.simulator import simulate_streaming_market, uniform_values
+
+
+def test_streaming_accounting_balances():
+    m = simulate_streaming_market(
+        PostedPriceMechanism(price=50.0),
+        uniform_values(0, 100),
+        arrival_rate=3.0,
+        patience=2,
+        n_rounds=80,
+        seed=4,
+    )
+    assert m.arrivals == m.served + m.expired
+    assert m.revenue <= m.welfare + 1e-9
+    assert 0 <= m.service_rate <= 1
+    assert m.mean_wait >= 0
+
+
+def test_streaming_posted_price_serves_immediately():
+    m = simulate_streaming_market(
+        PostedPriceMechanism(price=30.0),
+        uniform_values(0, 100),
+        arrival_rate=4.0,
+        patience=3,
+        n_rounds=100,
+        seed=1,
+    )
+    # anyone above the price is served the round they arrive
+    assert m.mean_wait == pytest.approx(0.0)
+    # ~70% of U[0,100] buyers clear a price of 30
+    assert m.service_rate == pytest.approx(0.7, abs=0.08)
+
+
+def test_streaming_single_unit_auction_starves_impatient_buyers():
+    """One Vickrey unit per round with 4 arrivals/round: most buyers expire
+    — the queueing phenomenon static simulations cannot show."""
+    auction = simulate_streaming_market(
+        VickreyAuction(k=1),
+        uniform_values(0, 100),
+        arrival_rate=4.0,
+        patience=3,
+        n_rounds=100,
+        seed=2,
+    )
+    posted = simulate_streaming_market(
+        PostedPriceMechanism(price=50.0),
+        uniform_values(0, 100),
+        arrival_rate=4.0,
+        patience=3,
+        n_rounds=100,
+        seed=2,
+    )
+    assert auction.service_rate < posted.service_rate
+    assert auction.served <= auction.rounds  # at most one unit per round
+    # but the auction extracts a high price per unit from the backlog
+    assert auction.revenue / max(auction.served, 1) > (
+        posted.revenue / max(posted.served, 1)
+    )
+
+
+def test_streaming_patience_increases_service():
+    impatient = simulate_streaming_market(
+        VickreyAuction(k=2), uniform_values(0, 100),
+        arrival_rate=3.0, patience=1, n_rounds=80, seed=3,
+    )
+    patient = simulate_streaming_market(
+        VickreyAuction(k=2), uniform_values(0, 100),
+        arrival_rate=3.0, patience=6, n_rounds=80, seed=3,
+    )
+    assert patient.service_rate >= impatient.service_rate
+
+
+def test_streaming_validates():
+    sampler = uniform_values(0, 1)
+    mech = PostedPriceMechanism(price=0.5)
+    with pytest.raises(SimulationError):
+        simulate_streaming_market(mech, sampler, arrival_rate=0)
+    with pytest.raises(SimulationError):
+        simulate_streaming_market(mech, sampler, patience=0)
+    with pytest.raises(SimulationError):
+        simulate_streaming_market(mech, sampler, n_rounds=0)
+
+
+def test_streaming_deterministic_under_seed():
+    kwargs = dict(
+        value_sampler=uniform_values(0, 100),
+        arrival_rate=2.0, patience=2, n_rounds=50, seed=9,
+    )
+    a = simulate_streaming_market(PostedPriceMechanism(50.0), **kwargs)
+    b = simulate_streaming_market(PostedPriceMechanism(50.0), **kwargs)
+    assert (a.revenue, a.served, a.expired) == (b.revenue, b.served, b.expired)

@@ -1,0 +1,92 @@
+"""Tests for mapping-function synthesis."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.integration import (
+    AffineMap,
+    DictionaryMap,
+    describe_affine,
+    fit_affine,
+    fit_dictionary,
+    synthesize_mapping,
+)
+
+
+def test_fit_affine_exact():
+    m = fit_affine([(0.0, 32.0), (100.0, 212.0), (37.0, 98.6)])
+    assert m.a == pytest.approx(1.8)
+    assert m.b == pytest.approx(32.0)
+    assert m.apply(10.0) == pytest.approx(50.0)
+
+
+def test_fit_affine_rejects_nonlinear():
+    with pytest.raises(SynthesisError, match="no affine map"):
+        fit_affine([(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)])
+
+
+def test_fit_affine_needs_two_distinct_x():
+    with pytest.raises(SynthesisError):
+        fit_affine([(1.0, 2.0)])
+    with pytest.raises(SynthesisError, match="underdetermined"):
+        fit_affine([(1.0, 2.0), (1.0, 2.0)])
+
+
+def test_affine_inverse_roundtrip():
+    m = AffineMap(1.8, 32.0)
+    inv = m.inverse()
+    assert inv.apply(m.apply(25.0)) == pytest.approx(25.0)
+    assert not AffineMap(0.0, 1.0).is_invertible
+    with pytest.raises(SynthesisError):
+        AffineMap(0.0, 1.0).inverse()
+
+
+def test_fit_dictionary():
+    m = fit_dictionary([("alice", "E01"), ("bob", "E02")])
+    assert m.apply("alice") == "E01"
+    assert m.is_invertible
+    inv = m.inverse()
+    assert inv.apply("E02") == "bob"
+    with pytest.raises(SynthesisError):
+        m.apply("unknown")
+
+
+def test_fit_dictionary_contradiction():
+    with pytest.raises(SynthesisError, match="contradictory"):
+        fit_dictionary([("a", 1), ("a", 2)])
+    with pytest.raises(SynthesisError):
+        fit_dictionary([(None, None)])
+
+
+def test_dictionary_not_invertible_when_not_bijective():
+    m = DictionaryMap({"a": "x", "b": "x"})
+    assert not m.is_invertible
+    with pytest.raises(SynthesisError):
+        m.inverse()
+
+
+def test_synthesize_prefers_affine_for_numeric():
+    m = synthesize_mapping([(0, 32.0), (100, 212.0)])
+    assert isinstance(m, AffineMap)
+
+
+def test_synthesize_falls_back_to_dictionary():
+    # non-affine numeric data still gets a lookup table
+    m = synthesize_mapping([(0, 0), (1, 1), (2, 4)])
+    assert isinstance(m, DictionaryMap)
+    m2 = synthesize_mapping([("x", "a"), ("y", "b")])
+    assert isinstance(m2, DictionaryMap)
+
+
+def test_synthesize_empty_raises():
+    with pytest.raises(SynthesisError):
+        synthesize_mapping([])
+    with pytest.raises(SynthesisError):
+        synthesize_mapping([(None, 1)])
+
+
+def test_describe_affine_recognizes_conversions():
+    assert describe_affine(1.8, 32.0) == "celsius_to_fahrenheit"
+    assert describe_affine(1000.0, 0.0) == "kilo_to_base"
+    assert describe_affine(7.7, 1.2) is None
+    assert "celsius_to_fahrenheit" in AffineMap(1.8, 32.0).describe()

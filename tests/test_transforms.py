@@ -1,0 +1,72 @@
+"""Tests for data-preparation transforms."""
+
+import pytest
+
+from repro.datagen import time_series
+from repro.errors import IntegrationError
+from repro.integration import downsample_mean, interpolate_to_grid, pivot
+from repro.relation import Relation
+
+
+def test_interpolate_upsamples_linearly():
+    ts = time_series("t", 5, 100, lambda t: t / 10.0)  # value = t/10
+    out = interpolate_to_grid(ts, "t", "value", 50)
+    by_t = dict(out.rows)
+    assert by_t[50] == pytest.approx(5.0)
+    assert by_t[150] == pytest.approx(15.0)
+    assert min(by_t) >= 0 and max(by_t) <= 400
+
+
+def test_interpolate_validates():
+    ts = time_series("t", 5, 100, lambda t: t)
+    with pytest.raises(IntegrationError):
+        interpolate_to_grid(ts, "t", "value", 0)
+    single = Relation("s", [("t", "int"), ("value", "float")], [(0, 1.0)])
+    with pytest.raises(IntegrationError, match="at least 2"):
+        interpolate_to_grid(single, "t", "value", 10)
+    dupes = Relation(
+        "d", [("t", "int"), ("value", "float")], [(0, 1.0), (0, 2.0)]
+    )
+    with pytest.raises(IntegrationError, match="duplicate"):
+        interpolate_to_grid(dupes, "t", "value", 10)
+
+
+def test_interpolation_enables_time_join():
+    hourly = time_series("city", 5, 3600, lambda t: 20.0)
+    five_min = time_series("sensor", 50, 300, lambda t: 25.0)
+    resampled = interpolate_to_grid(five_min, "t", "value", 3600)
+    joined = hourly.join(resampled, on=["t"])
+    assert len(joined) >= 4
+
+
+def test_downsample_mean():
+    ts = Relation(
+        "t", [("t", "int"), ("value", "float")],
+        [(0, 1.0), (10, 3.0), (60, 10.0), (70, 20.0)],
+    )
+    out = downsample_mean(ts, "t", "value", 60)
+    by_t = dict(out.rows)
+    assert by_t[0] == pytest.approx(2.0)
+    assert by_t[60] == pytest.approx(15.0)
+    with pytest.raises(IntegrationError):
+        downsample_mean(ts, "t", "value", -5)
+
+
+def test_pivot():
+    sales = Relation(
+        "sales",
+        [("month", "str"), ("store", "str"), ("amount", "float")],
+        [("jan", "a", 10.0), ("jan", "b", 20.0), ("feb", "a", 30.0)],
+    )
+    wide = pivot(sales, "month", "store", "amount")
+    assert set(wide.columns) == {"month", "a", "b"}
+    rows = {r["month"]: r for r in wide.to_dicts()}
+    assert rows["jan"]["b"] == 20.0
+    assert rows["feb"]["b"] is None
+
+
+def test_pivot_empty_pivot_column():
+    r = Relation("r", [("k", "int"), ("p", "str"), ("v", "int")],
+                 [(1, None, 5)])
+    with pytest.raises(IntegrationError):
+        pivot(r, "k", "p", "v")

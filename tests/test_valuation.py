@@ -1,0 +1,240 @@
+"""Tests for coalition games, Shapley estimators, least core, KNN-Shapley."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValuationError
+from repro.valuation import (
+    CoalitionGame,
+    efficiency_gap,
+    exact_shapley,
+    in_core,
+    knn_shapley,
+    knn_utility,
+    least_core,
+    leave_one_out,
+    monte_carlo_shapley,
+    normalize_to_total,
+    shapley_error,
+    truncated_monte_carlo_shapley,
+)
+
+
+def glove_game():
+    """Classic 3-player glove game: a has a left glove, b/c right gloves."""
+    def v(s):
+        lefts = 1 if "a" in s else 0
+        rights = ("b" in s) + ("c" in s)
+        return float(min(lefts, rights))
+    return CoalitionGame.of(["a", "b", "c"], v)
+
+
+def additive_game(values):
+    return CoalitionGame.of(
+        list(values), lambda s: sum(values[p] for p in s)
+    )
+
+
+def test_game_validates():
+    with pytest.raises(ValuationError):
+        CoalitionGame.of([], lambda s: 0.0)
+    with pytest.raises(ValuationError):
+        CoalitionGame.of(["a", "a"], lambda s: 0.0)
+    g = glove_game()
+    with pytest.raises(ValuationError):
+        g.value({"zzz"})
+
+
+def test_game_caches():
+    calls = []
+    g = CoalitionGame.of(["a", "b"], lambda s: calls.append(s) or len(s))
+    g.value({"a"})
+    g.value({"a"})
+    assert g.evaluations == 1
+
+
+def test_exact_shapley_glove():
+    shapley = exact_shapley(glove_game())
+    # textbook solution: a = 2/3, b = c = 1/6
+    assert shapley["a"] == pytest.approx(2 / 3)
+    assert shapley["b"] == pytest.approx(1 / 6)
+    assert shapley["c"] == pytest.approx(1 / 6)
+
+
+def test_exact_shapley_additive_is_identity():
+    vals = {"x": 3.0, "y": 7.0, "z": 0.5}
+    shapley = exact_shapley(additive_game(vals))
+    for p, v in vals.items():
+        assert shapley[p] == pytest.approx(v)
+
+
+def test_exact_shapley_refuses_large_games():
+    big = CoalitionGame.of([f"p{i}" for i in range(20)], lambda s: len(s))
+    with pytest.raises(ValuationError, match="2\\^20"):
+        exact_shapley(big)
+
+
+def test_exact_shapley_efficiency():
+    g = glove_game()
+    assert efficiency_gap(g, exact_shapley(g)) < 1e-9
+
+
+def test_monte_carlo_converges_to_exact():
+    g = glove_game()
+    approx = monte_carlo_shapley(g, n_permutations=2000, seed=1)
+    assert shapley_error(approx, exact_shapley(g)) < 0.03
+
+
+def test_monte_carlo_is_efficient_per_permutation():
+    g = glove_game()
+    approx = monte_carlo_shapley(g, n_permutations=10, seed=0)
+    # telescoping sum makes every permutation exactly efficient
+    assert efficiency_gap(g, approx) < 1e-9
+    with pytest.raises(ValuationError):
+        monte_carlo_shapley(g, n_permutations=0)
+
+
+def test_truncated_mc_close_but_cheaper():
+    rng = np.random.default_rng(0)
+    weights = {f"p{i}": float(rng.uniform(0.4, 1.0)) for i in range(8)}
+
+    def v(s):  # capped additive: marginals vanish once the cap is hit
+        return min(sum(weights[p] for p in s), 2.0)
+
+    g1 = CoalitionGame.of(list(weights), v)
+    g2 = CoalitionGame.of(list(weights), v)
+    full = monte_carlo_shapley(g1, n_permutations=60, seed=3)
+    trunc = truncated_monte_carlo_shapley(
+        g2, n_permutations=60, truncation_tolerance=0.05, seed=3
+    )
+    assert g2.evaluations < g1.evaluations  # truncation saves evaluations
+    assert shapley_error(trunc, full) < 0.1
+    with pytest.raises(ValuationError):
+        truncated_monte_carlo_shapley(g2, n_permutations=0)
+
+
+def test_leave_one_out_misses_synergy():
+    # pure-synergy game: v(S)=1 iff both players present
+    g = CoalitionGame.of(["a", "b"], lambda s: 1.0 if len(s) == 2 else 0.0)
+    loo = leave_one_out(g)
+    assert loo == {"a": 1.0, "b": 1.0}  # over-credits: sums to 2 > v(N)=1
+    shapley = exact_shapley(g)
+    assert shapley["a"] == pytest.approx(0.5)
+
+
+def test_shapley_error_requires_shared_players():
+    with pytest.raises(ValuationError):
+        shapley_error({"a": 1.0}, {"b": 1.0})
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(0.0, 10.0),
+        min_size=2,
+        max_size=4,
+    )
+)
+def test_property_exact_shapley_symmetry_and_efficiency(values):
+    """For additive games Shapley = individual value; always efficient."""
+    g = additive_game(values)
+    shapley = exact_shapley(g)
+    assert efficiency_gap(g, shapley) < 1e-8
+    for p in values:
+        assert shapley[p] == pytest.approx(values[p], abs=1e-8)
+
+
+# -- least core -----------------------------------------------------------------
+
+
+def test_least_core_glove():
+    allocation, excess = least_core(glove_game())
+    assert sum(allocation.values()) == pytest.approx(1.0)
+    # in the glove game the core gives everything to the scarce player
+    assert allocation["a"] >= 0.9
+    assert excess <= 0.35
+
+
+def test_least_core_additive_in_core():
+    vals = {"x": 2.0, "y": 5.0}
+    allocation, excess = least_core(additive_game(vals))
+    assert excess == pytest.approx(0.0, abs=1e-9)
+    assert in_core(additive_game(vals), allocation)
+
+
+def test_in_core_detects_violations():
+    g = additive_game({"x": 2.0, "y": 5.0})
+    assert not in_core(g, {"x": 0.0, "y": 7.0})  # x's singleton blocks
+    assert not in_core(g, {"x": 2.0, "y": 2.0})  # inefficient
+    with pytest.raises(ValuationError):
+        in_core(g, {"x": 2.0})
+
+
+def test_least_core_refuses_large_games():
+    big = CoalitionGame.of([f"p{i}" for i in range(16)], lambda s: len(s))
+    with pytest.raises(ValuationError):
+        least_core(big)
+
+
+# -- KNN-Shapley -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def knn_data():
+    rng = np.random.default_rng(4)
+    n = 40
+    x0 = rng.normal(-2, 0.7, size=(n, 2))
+    x1 = rng.normal(2, 0.7, size=(n, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * n + [1] * n)
+    x_test = np.vstack([rng.normal(-2, 0.7, (10, 2)),
+                        rng.normal(2, 0.7, (10, 2))])
+    y_test = np.array([0] * 10 + [1] * 10)
+    return x, y, x_test, y_test
+
+
+def test_knn_shapley_efficiency(knn_data):
+    """Sum of KNN-Shapley values equals total KNN utility (efficiency)."""
+    x, y, x_test, y_test = knn_data
+    values = knn_shapley(x, y, x_test, y_test, k=5)
+    total = knn_utility(x, y, x_test, y_test, k=5)
+    assert values.sum() == pytest.approx(total, abs=1e-9)
+
+
+def test_knn_shapley_helpful_points_score_higher(knn_data):
+    x, y, x_test, y_test = knn_data
+    values = knn_shapley(x, y, x_test, y_test, k=5)
+    # corrupt 5 labels: those points should fall in the value ranking
+    y_bad = y.copy()
+    y_bad[:5] = 1 - y_bad[:5]
+    values_bad = knn_shapley(x, y_bad, x_test, y_test, k=5)
+    assert values_bad[:5].mean() < values[5:].mean()
+    assert values_bad[:5].mean() < values_bad[5:].mean()
+
+
+def test_knn_shapley_validates(knn_data):
+    x, y, x_test, y_test = knn_data
+    with pytest.raises(ValuationError):
+        knn_shapley(x[:0], y[:0], x_test, y_test)
+    with pytest.raises(ValuationError):
+        knn_shapley(x, y, x_test, y_test, k=0)
+    with pytest.raises(ValuationError):
+        knn_shapley(x, y[:-1], x_test, y_test)
+
+
+# -- normalization helper ----------------------------------------------------------
+
+
+def test_normalize_to_total():
+    out = normalize_to_total({"a": 1.0, "b": 3.0}, total=100.0)
+    assert out["a"] == pytest.approx(25.0)
+    assert out["b"] == pytest.approx(75.0)
+    # negative contributions floored at zero
+    out = normalize_to_total({"a": -5.0, "b": 5.0}, total=10.0)
+    assert out == {"a": 0.0, "b": 10.0}
+    # degenerate all-zero: equal split
+    out = normalize_to_total({"a": 0.0, "b": 0.0}, total=10.0)
+    assert out == {"a": 5.0, "b": 5.0}

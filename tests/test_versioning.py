@@ -1,0 +1,83 @@
+"""Tests for versioning (Varian screening menus)."""
+
+import math
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing import (
+    BuyerType,
+    design_version_menu,
+    menu_is_incentive_compatible,
+)
+
+
+def whale(fraction=0.3, scale=100.0):
+    return BuyerType("whale", fraction, lambda q: scale * q)
+
+
+def casual(fraction=0.7, scale=40.0):
+    # concave: casual buyers get most of their value from a small sample
+    return BuyerType("casual", fraction, lambda q: scale * math.sqrt(q))
+
+
+def test_buyer_type_validation():
+    with pytest.raises(PricingError):
+        BuyerType("x", 0.0, lambda q: q)
+    with pytest.raises(PricingError):
+        BuyerType("x", 0.5, lambda q: q + 1.0)  # utility(0) != 0
+
+
+def test_menu_validation():
+    with pytest.raises(PricingError, match="sum"):
+        design_version_menu(whale(0.8), casual(0.7))
+    with pytest.raises(PricingError, match="at least as much"):
+        design_version_menu(casual(0.3, scale=10.0), whale(0.5, scale=100.0))
+
+
+def test_screening_beats_degenerate_menus():
+    menu = design_version_menu(whale(), casual())
+    assert menu.strategy == "screen"
+    high_only = whale().fraction * 100.0
+    single = (whale().fraction + casual().fraction) * 40.0
+    assert menu.expected_revenue > max(high_only, single)
+    # the damaged version really is damaged, and cheaper
+    assert 0 < menu.low.quality < 1
+    assert menu.low.price < menu.high.price
+    assert menu.high.quality == 1.0
+
+
+def test_menu_is_incentive_compatible():
+    h, l = whale(), casual()
+    menu = design_version_menu(h, l)
+    assert menu_is_incentive_compatible(menu, h, l)
+
+
+def test_high_only_when_low_type_worthless():
+    h = whale(0.5, scale=100.0)
+    l = BuyerType("freeloader", 0.5, lambda q: 0.1 * q)
+    menu = design_version_menu(h, l)
+    assert menu.strategy == "high_only"
+    assert menu.low is None
+    assert menu.expected_revenue == pytest.approx(50.0)
+    assert menu_is_incentive_compatible(menu, h, l)
+
+
+def test_single_version_when_types_are_close():
+    h = BuyerType("h", 0.2, lambda q: 50.0 * q)
+    l = BuyerType("l", 0.8, lambda q: 49.0 * q)
+    menu = design_version_menu(h, l)
+    # with linear utilities and nearly identical values, damaging the good
+    # cannot pay: sell one version to everyone at the low valuation
+    assert menu.strategy == "single_version"
+    assert menu.expected_revenue == pytest.approx(49.0)
+
+
+def test_information_rent_left_to_high_type():
+    """The high type strictly gains surplus under screening (their rent)."""
+    h, l = whale(), casual()
+    menu = design_version_menu(h, l)
+    high_surplus = h.utility(1.0) - menu.high.price
+    assert high_surplus > 0
+    low_surplus = l.utility(menu.low.quality) - menu.low.price
+    assert low_surplus == pytest.approx(0.0, abs=1e-9)  # low IR binds

@@ -1,0 +1,196 @@
+"""Tests for WTP functions, price curves, tasks, intrinsic constraints."""
+
+import pytest
+
+from repro.datagen import make_classification_world
+from repro.discovery import MetadataEngine
+from repro.errors import MarketError
+from repro.relation import Column, Relation
+from repro.wtp import (
+    AggregateAccuracyTask,
+    ClassificationTask,
+    ExplorationTask,
+    IntrinsicRequirements,
+    PriceCurve,
+    QueryCompletenessTask,
+    TaskEvaluationError,
+    WTPFunction,
+)
+
+
+# -- price curves --------------------------------------------------------------
+
+
+def test_price_curve_steps():
+    curve = PriceCurve.of((0.8, 100.0), (0.9, 150.0))
+    assert curve.price_for(0.5) == 0.0
+    assert curve.price_for(0.8) == 100.0
+    assert curve.price_for(0.85) == 100.0
+    assert curve.price_for(0.95) == 150.0
+    assert curve.max_price == 150.0
+    assert curve.min_threshold == 0.8
+
+
+def test_price_curve_validation():
+    with pytest.raises(MarketError):
+        PriceCurve(())
+    with pytest.raises(MarketError, match="increase"):
+        PriceCurve.of((0.9, 100.0), (0.8, 150.0))
+    with pytest.raises(MarketError, match="non-decreasing"):
+        PriceCurve.of((0.8, 150.0), (0.9, 100.0))
+    with pytest.raises(MarketError, match="non-negative"):
+        PriceCurve.single(0.5, -1.0)
+
+
+# -- tasks ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_classification_world(
+        n_entities=300, dataset_features=((0, 1, 3, 4),), seed=1
+    )
+
+
+def test_classification_task(world):
+    task = ClassificationTask(
+        labels=world.label_relation,
+        features=["f0", "f1", "f3", "f4"],
+    )
+    satisfaction = task.evaluate(world.datasets[0])
+    assert satisfaction > 0.8  # informative features -> good accuracy
+
+
+def test_classification_task_fewer_features_worse(world):
+    good = ClassificationTask(
+        labels=world.label_relation, features=["f0", "f1", "f3", "f4"]
+    ).evaluate(world.datasets[0])
+    only_one = ClassificationTask(
+        labels=world.label_relation, features=["f1"]
+    ).evaluate(world.datasets[0].project(["entity_id", "f1"]))
+    assert good > only_one
+
+
+def test_classification_task_errors(world):
+    task = ClassificationTask(labels=world.label_relation, features=["f9"])
+    with pytest.raises(TaskEvaluationError, match="none of the requested"):
+        task.evaluate(world.datasets[0])
+    task2 = ClassificationTask(labels=world.label_relation, features=["f0"])
+    no_key = world.datasets[0].drop(["entity_id"])
+    with pytest.raises(TaskEvaluationError, match="key"):
+        task2.evaluate(no_key)
+    tiny = world.datasets[0].limit(3)
+    with pytest.raises(TaskEvaluationError, match="usable training rows"):
+        task2.evaluate(tiny)
+
+
+def test_query_completeness_task():
+    rel = Relation(
+        "r",
+        [("entity_id", "int"), ("a", "int"), ("b", "int")],
+        [(1, 10, 20), (2, 11, None), (3, None, None)],
+    )
+    task = QueryCompletenessTask(
+        wanted_keys=[1, 2, 3, 4], attributes=["a", "b"]
+    )
+    # key1: 1.0, key2: 0.5, key3: 0, key4 missing -> (1 + .5 + 0 + 0)/4
+    assert task.evaluate(rel) == pytest.approx(0.375)
+    with pytest.raises(TaskEvaluationError):
+        QueryCompletenessTask(wanted_keys=[], attributes=["a"]).evaluate(rel)
+    with pytest.raises(TaskEvaluationError):
+        QueryCompletenessTask(wanted_keys=[1], attributes=["zz"]).evaluate(rel)
+
+
+def test_aggregate_accuracy_task():
+    rel = Relation("r", [("x", "float")], [(10.0,), (20.0,)])
+    task = AggregateAccuracyTask("x", reference_value=15.0)
+    assert task.evaluate(rel) == pytest.approx(1.0)
+    off = AggregateAccuracyTask("x", reference_value=30.0)
+    assert off.evaluate(rel) == pytest.approx(0.5)
+    assert AggregateAccuracyTask("x", 1.0, "sum").evaluate(rel) == 0.0
+    assert AggregateAccuracyTask("x", 2.0, "count").evaluate(rel) == 1.0
+    with pytest.raises(TaskEvaluationError):
+        AggregateAccuracyTask("zz", 1.0).evaluate(rel)
+    with pytest.raises(TaskEvaluationError):
+        AggregateAccuracyTask("x", 1.0, "median").evaluate(rel)
+
+
+def test_exploration_task_cannot_be_evaluated():
+    with pytest.raises(TaskEvaluationError, match="ex post"):
+        ExplorationTask(["a"]).evaluate(
+            Relation("r", [("a", "int")], [(1,)])
+        )
+
+
+# -- intrinsic requirements --------------------------------------------------------
+
+
+def test_intrinsic_null_fraction_and_rows():
+    rel = Relation("r", [("a", "int")], [(1,), (None,), (None,), (None,)])
+    req = IntrinsicRequirements(max_null_fraction=0.5, min_rows=10)
+    problems = req.violations(rel, sources=["r"])
+    assert len(problems) == 2
+    ok = IntrinsicRequirements(max_null_fraction=0.9, min_rows=2)
+    assert ok.satisfied_by(rel, sources=["r"])
+
+
+def test_intrinsic_owner_and_freshness():
+    engine = MetadataEngine()
+    old = Relation("old", [("a", "int")], [(1,)])
+    engine.register(old, owner="alice")
+    for i in range(3):
+        engine.register(
+            Relation("fresh", [("a", "int")], [(i,)]), owner="bob"
+        )
+    req = IntrinsicRequirements(
+        allowed_owners=("bob",), max_version_lag=1
+    )
+    problems = req.violations(old, sources=["old"], metadata=engine)
+    assert any("owned by" in p for p in problems)
+    assert any("stale" in p for p in problems)
+    assert req.satisfied_by(
+        engine.relation("fresh"), sources=["fresh"], metadata=engine
+    )
+
+
+def test_intrinsic_provenance_requirement():
+    rel = Relation("r", [("a", "int")], [(1,)]).without_provenance()
+    req = IntrinsicRequirements(require_provenance=True)
+    assert not req.satisfied_by(rel, sources=["r"])
+
+
+# -- WTP function ---------------------------------------------------------------
+
+
+def test_wtp_function_end_to_end(world):
+    wtp = WTPFunction(
+        buyer="b1",
+        task=ClassificationTask(
+            labels=world.label_relation, features=["f0", "f1", "f3", "f4"]
+        ),
+        curve=PriceCurve.of((0.8, 100.0), (0.9, 150.0)),
+    )
+    satisfaction, price = wtp.evaluate(world.datasets[0])
+    assert satisfaction > 0.8
+    assert price in (100.0, 150.0)
+    assert wtp.attributes == ["f0", "f1", "f3", "f4"]
+
+
+def test_wtp_try_evaluate_swallows_task_errors(world):
+    wtp = WTPFunction(
+        buyer="b1",
+        task=ExplorationTask(["a"]),
+        curve=PriceCurve.single(0.5, 10.0),
+        elicitation="ex_post",
+    )
+    assert wtp.try_evaluate(world.datasets[0]) is None
+
+
+def test_wtp_rejects_bad_elicitation(world):
+    with pytest.raises(MarketError):
+        WTPFunction(
+            buyer="b",
+            task=ExplorationTask(),
+            curve=PriceCurve.single(0.5, 1.0),
+            elicitation="psychic",
+        )
