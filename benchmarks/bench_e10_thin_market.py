@@ -46,7 +46,6 @@ def run_market(n_sellers: int, single_only: bool) -> int:
     arbiter = Arbiter(internal_market(), builder=builder)
     for i, dataset in enumerate(world.datasets):
         arbiter.accept_dataset(dataset, seller=f"s{i}")
-    transactions = 0
     for b in range(4):
         buyer = BuyerPlatform(f"b{b}")
         arbiter.register_participant(f"b{b}")

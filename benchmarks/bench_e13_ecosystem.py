@@ -37,7 +37,6 @@ def collected_y() -> Relation:
 
 def demand_round(arbiter: Arbiter, cohort: str, n_buyers: int) -> int:
     """A cohort of buyers who need attributes x and y together."""
-    served = 0
     for i in range(n_buyers):
         name = f"{cohort}_{i}"
         buyer = BuyerPlatform(name)

@@ -1,0 +1,161 @@
+"""E19 — Vectorized valuation engine vs. the scalar reference (§3.2.3).
+
+The paper flags Shapley-based revenue allocation as the platform's
+computational bottleneck ("we are investigating alternative approaches that
+are more computationally efficient").  E3 compared *estimators*; this
+benchmark compares *execution engines* for the same estimator: the batched
+path (permutations as NumPy index matrices, marginals through
+``CoalitionGame.value_batch`` against a vectorized characteristic function)
+against the original scalar permutation loop, on E3-style capped-additive
+games.
+
+Expected shape: identical allocations (same seed, same permutations —
+differences are floating-point accumulation order only, far below 1e-6) at
+a ≥5x wall-clock advantage for the batched engine at n >= 100 players, and
+the KNN-Shapley closed form showing the same gap between the full
+distance-matrix path and the per-test-point loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.valuation import (
+    knn_shapley,
+    monte_carlo_shapley,
+    truncated_monte_carlo_shapley,
+)
+from repro.valuation.workloads import capped_additive_game as capped_game
+
+
+def best_of(runs: int, fn, *args, **kwargs):
+    """(best wall-clock seconds, last result) over ``runs`` repetitions."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def max_allocation_diff(a: dict[str, float], b: dict[str, float]) -> float:
+    return max(abs(a[p] - b[p]) for p in a)
+
+
+@pytest.fixture(scope="module")
+def mc_sweep(smoke):
+    sizes = (10, 25) if smoke else (25, 50, 100)
+    n_permutations = 25 if smoke else 200
+    repeats = 1 if smoke else 3
+    rows = []
+    for n in sizes:
+        t_scalar, scalar = best_of(
+            repeats,
+            lambda n=n: monte_carlo_shapley(
+                capped_game(n), n_permutations, seed=1, batched=False
+            ),
+        )
+        t_batched, batched = best_of(
+            repeats,
+            lambda n=n: monte_carlo_shapley(
+                capped_game(n), n_permutations, seed=1
+            ),
+        )
+        rows.append(
+            (
+                n,
+                n_permutations,
+                round(t_scalar * 1000, 2),
+                round(t_batched * 1000, 2),
+                round(t_scalar / t_batched, 1),
+                max_allocation_diff(batched, scalar),
+            )
+        )
+    return rows
+
+
+def test_e19_report(mc_sweep, table, benchmark):
+    benchmark(monte_carlo_shapley, capped_game(50), 50, seed=1)
+    table(
+        ["players", "perms", "scalar (ms)", "batched (ms)", "speedup",
+         "max |diff|"],
+        [(n, m, ts, tb, f"{s}x", f"{d:.2e}")
+         for n, m, ts, tb, s, d in mc_sweep],
+        title="E19: Monte Carlo Shapley — scalar loop vs vectorized engine",
+    )
+
+
+def test_e19_batched_matches_scalar_to_1e6(mc_sweep):
+    for _n, _m, _ts, _tb, _speedup, diff in mc_sweep:
+        assert diff < 1e-6  # same seed -> same permutations -> same result
+
+
+def test_e19_speedup_at_100_players(mc_sweep, smoke):
+    if smoke:
+        pytest.skip("timing assertion is for full benchmark runs")
+    by_n = {row[0]: row[4] for row in mc_sweep}
+    assert by_n[100] >= 5.0, (
+        f"batched MC Shapley at n=100 is only {by_n[100]}x faster"
+    )
+
+
+def test_e19_truncated_mc_matches_and_speeds_up(smoke, table):
+    n = 25 if smoke else 100
+    n_permutations = 25 if smoke else 200
+    repeats = 1 if smoke else 3
+    t_scalar, scalar = best_of(
+        repeats,
+        lambda: truncated_monte_carlo_shapley(
+            capped_game(n), n_permutations, truncation_tolerance=0.02,
+            seed=1, batched=False,
+        ),
+    )
+    t_batched, batched = best_of(
+        repeats,
+        lambda: truncated_monte_carlo_shapley(
+            capped_game(n), n_permutations, truncation_tolerance=0.02,
+            seed=1,
+        ),
+    )
+    assert max_allocation_diff(batched, scalar) < 1e-6
+    table(
+        ["players", "perms", "scalar (ms)", "batched (ms)", "speedup"],
+        [(n, n_permutations, round(t_scalar * 1000, 2),
+          round(t_batched * 1000, 2),
+          f"{t_scalar / t_batched:.1f}x")],
+        title="E19b: truncated MC — truncation semantics preserved, "
+        "columns batched",
+    )
+    if not smoke:
+        assert t_scalar / t_batched > 2.0
+
+
+def test_e19_knn_full_distance_matrix(smoke, table):
+    rng = np.random.default_rng(3)
+    n = 300 if smoke else 2000
+    n_test = 10 if smoke else 50
+    x = rng.normal(0, 1, size=(n, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    x_test, y_test = x[:n_test], y[:n_test]
+    repeats = 1 if smoke else 3
+    t_scalar, scalar = best_of(
+        repeats, knn_shapley, x, y, x_test, y_test, 5, False
+    )
+    t_batched, batched = best_of(
+        repeats, knn_shapley, x, y, x_test, y_test, 5
+    )
+    assert np.abs(batched - scalar).max() < 1e-9
+    table(
+        ["train rows", "test rows", "scalar (ms)", "batched (ms)",
+         "speedup"],
+        [(n, n_test, round(t_scalar * 1000, 1),
+          round(t_batched * 1000, 1),
+          f"{t_scalar / t_batched:.1f}x")],
+        title="E19c: KNN-Shapley — per-point loop vs full distance matrix",
+    )
+    if not smoke:
+        assert t_scalar / t_batched > 2.0

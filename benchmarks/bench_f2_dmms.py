@@ -23,7 +23,6 @@ from repro.market import (
     external_market,
 )
 from repro.mechanisms import Bid
-from repro.relation import Column
 
 
 @pytest.fixture(scope="module")

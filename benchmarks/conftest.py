@@ -15,6 +15,32 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help=(
+            "fast mode: shrink benchmark workloads to smoke-test the "
+            "perf path (CI runs E3/E19 this way) and skip pytest-benchmark "
+            "timing rounds"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        # one pass through each benchmarked callable is enough to catch
+        # perf-path breakage; calibrated timing rounds are for real runs
+        config.option.benchmark_disable = True
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True in ``--smoke`` mode; benchmarks use it to shrink workloads."""
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture
 def emit(capsys):
     """Print straight to the terminal, bypassing pytest capture."""

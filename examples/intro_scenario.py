@@ -13,8 +13,6 @@ the accuracy gate is met.
 Run:  python examples/intro_scenario.py
 """
 
-import numpy as np
-
 from repro import Arbiter, BuyerPlatform, exclusive_auction_market
 from repro.datagen import intro_scenario
 from repro.relation import Column, Relation

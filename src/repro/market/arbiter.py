@@ -7,16 +7,22 @@ right:
    :class:`~repro.integration.dod.MashupRequest`; candidate mashups come
    back ranked ([m1..mn] in the figure);
 2. **WTP Evaluator** — each candidate is filtered by the buyer's intrinsic
-   constraints, then the task package runs on it to measure the degree of
-   satisfaction and the resulting wtp price ([mi: wtpi]);
+   constraints, then all surviving candidates are scored by the task
+   package in one *batched* call per buyer
+   (:meth:`~repro.wtp.wtp.WTPFunction.evaluate_batch`) to measure the
+   degree of satisfaction and the resulting wtp price ([mi: wtpi]);
 3. **Pricing Engine** — buyers bidding on the same good (identical mashup
    content) are cleared by the market design's mechanism, which fixes
    winners and payments;
 4. **Transaction Support** — licensing and reserve-price checks, then the
    ledger moves the incentive and the buyer receives the mashup;
-5. **Revenue Allocation Engine** — the payment is split between arbiter
-   commission and contributing datasets (provenance / Shapley / uniform per
-   the design), and the lineage + audit log record everything.
+5. **Revenue Allocation Engine** — every winner's payment in a cleared
+   group is split in one batched settlement call
+   (:meth:`~repro.market.revenue.RevenueAllocationEngine.split_batch`)
+   between arbiter commission and contributing datasets (provenance /
+   Shapley / uniform per the design) — Shapley games run through the
+   vectorized estimators of :mod:`repro.valuation` — and the lineage +
+   audit log record everything.
 
 Ex-post buyers (Section 3.2.2.2) skip steps 2–3: they receive the best
 *coverage* mashup immediately and settle later through
@@ -26,6 +32,7 @@ Ex-post buyers (Section 3.2.2.2) skip steps 2–3: they receive the best
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -37,13 +44,31 @@ from ..wtp import WTPFunction
 from .accountability import AuditLog, LineageStore
 from .buyer import DeliveredMashup
 from .design import MarketDesign
-from .licensing import ContextualIntegrityPolicy, License, LicenseRegistry
+from .licensing import (
+    ContextualIntegrityPolicy,
+    License,
+    LicenseKind,
+    LicenseRegistry,
+)
 from .negotiation import NegotiationManager
 from .revenue import RevenueAllocationEngine, RevenueSplit
 from .services import RecommendationService
 from .transaction import Ledger
 
 ARBITER_ACCOUNT = "arbiter"
+
+
+class PendingSettlement(NamedTuple):
+    """A cleared winner awaiting revenue settlement and commit."""
+
+    wtp: WTPFunction
+    mashup: Mashup
+    satisfaction: float
+    bid_price: float
+    taxed: float
+    #: settlement deferred to commit time: an earlier winner of the same
+    #: group contends for this sale's exclusivity/transfer slots
+    contended: bool
 
 
 @dataclass
@@ -227,26 +252,37 @@ class Arbiter:
                 Rejection(wtp.buyer, "no mashup could be assembled")
             )
             return None
-        best = None
-        for mashup in mashups:
-            if not wtp.intrinsic.satisfied_by(
+        candidates = [
+            mashup for mashup in mashups
+            if wtp.intrinsic.satisfied_by(
                 mashup.relation, mashup.sources(), self.builder.metadata
-            ):
-                continue
-            # The WTP evaluator runs *buyer-supplied code* on arbiter
-            # hardware (Section 3.2.2.1): any crash must be contained and
-            # recorded, never propagated into the market round.
-            try:
-                evaluated = wtp.try_evaluate(mashup.relation)
-            except Exception as exc:  # noqa: BLE001 - sandbox boundary
+            )
+        ]
+        # The WTP evaluator runs *buyer-supplied code* on arbiter hardware
+        # (Section 3.2.2.1): every candidate of this buyer is scored in a
+        # single batched call, and any crash — of one candidate or of the
+        # whole batch — is contained and recorded, never propagated into
+        # the market round.
+        try:
+            outcomes = wtp.evaluate_batch([m.relation for m in candidates])
+        except Exception as exc:  # noqa: BLE001 - sandbox boundary
+            self.audit.append(
+                "wtp_evaluation_crashed",
+                {"buyer": wtp.buyer, "error": repr(exc)},
+            )
+            outcomes = []
+            candidates = []
+        best = None
+        for mashup, outcome in zip(candidates, outcomes):
+            if outcome.error is not None:
                 self.audit.append(
                     "wtp_evaluation_crashed",
-                    {"buyer": wtp.buyer, "error": repr(exc)},
+                    {"buyer": wtp.buyer, "error": repr(outcome.error)},
                 )
-                evaluated = None
-            if evaluated is None:
                 continue
-            satisfaction, price = evaluated
+            if not outcome.evaluated:
+                continue
+            satisfaction, price = outcome.satisfaction, outcome.price
             if not _sane_evaluation(satisfaction, price):
                 self.audit.append(
                     "wtp_evaluation_rejected",
@@ -284,12 +320,113 @@ class Arbiter:
                 result.rejections.append(
                     Rejection(bid.bidder, "outbid in the clearing mechanism")
                 )
+        # Revenue Allocation Engine: this group's settlements are computed
+        # in one batched call (per round context) — exclusivity taxes
+        # first, then the winners' Shapley/provenance splits through
+        # RevenueAllocationEngine.split_batch — before any ledger movement.
+        # Licensing is gated FIRST: a Shapley settlement re-runs
+        # buyer-supplied task code on partial mashups, so a sale the
+        # license registry forbids must never reach that work.  A winner
+        # contending with *earlier winners of this group* for exclusivity
+        # slots (``tentative``) is not rejected here — whether a slot
+        # remains depends on whether those winners actually commit — but
+        # its settlement is deferred to commit time, after the outcome of
+        # the earlier transactions is known.
+        winners = []
+        tentative: dict[str, set[str]] = {}
         for buyer in outcome.winners:
             wtp, mashup, satisfaction, bid_price = by_buyer[buyer]
             payment = outcome.payment_of(buyer)
-            self._execute_transaction(
-                wtp, mashup, satisfaction, bid_price, payment, result, context
+            sources = mashup.plan.sources()
+            if not self._licenses_permit(sources, wtp.buyer, context, result):
+                continue
+            # kinds whose check_sale outcome depends on prior sales: an
+            # earlier winner of this group committing can invalidate this
+            # sale, so its settlement must wait for that outcome
+            contended = any(
+                self.licenses.license_of(d).kind
+                in (LicenseKind.EXCLUSIVE, LicenseKind.TRANSFER)
+                and (tentative.get(d, set()) - {wtp.buyer})
+                for d in sources
             )
+            for dataset in sources:
+                tentative.setdefault(dataset, set()).add(wtp.buyer)
+            # exclusivity tax (Section 4.4)
+            taxed = payment
+            for dataset in sources:
+                license = self.licenses.license_of(dataset)
+                taxed = license.price_with_tax(taxed) if taxed else taxed
+            winners.append(
+                PendingSettlement(
+                    wtp, mashup, satisfaction, bid_price, taxed, contended
+                )
+            )
+        eager = [w for w in winners if not w.contended]
+        eager_splits = dict(
+            zip(
+                map(id, eager),
+                self.revenue_engine.split_batch(
+                    [(w.mashup, w.taxed) for w in eager],
+                    wtps=[w.wtp for w in eager],
+                    resolver=self.builder.metadata.relation,
+                    on_error=lambda i, exc: self._settlement_crashed(
+                        eager[i].wtp, exc, result
+                    ),
+                ),
+            )
+        )
+        for w in winners:
+            if w.contended:
+                # settle lazily: earlier winners have now committed (or
+                # failed), so the registry reflects who holds the slots
+                if not self._licenses_permit(
+                    w.mashup.plan.sources(), w.wtp.buyer, context, result
+                ):
+                    continue
+                try:
+                    split = self.revenue_engine.split(
+                        w.mashup, w.taxed, wtp=w.wtp,
+                        resolver=self.builder.metadata.relation,
+                    )
+                except Exception as exc:  # noqa: BLE001 - sandbox boundary
+                    self._settlement_crashed(w.wtp, exc, result)
+                    continue
+            else:
+                split = eager_splits[id(w)]
+                if split is None:  # settlement crashed; already recorded
+                    continue
+            self._execute_transaction(
+                w.wtp, w.mashup, w.satisfaction, w.bid_price, w.taxed,
+                split, result, context,
+            )
+
+    def _licenses_permit(
+        self, sources, buyer: str, context: str, result: RoundResult
+    ) -> bool:
+        """check_sale over all sources; on violation: reject + audit."""
+        try:
+            for dataset in sources:
+                self.licenses.check_sale(dataset, buyer, context)
+        except LicensingError as exc:
+            result.rejections.append(Rejection(buyer, str(exc)))
+            self.audit.append(
+                "sale_blocked", {"buyer": buyer, "reason": str(exc)}
+            )
+            return False
+        return True
+
+    def _settlement_crashed(
+        self, wtp: WTPFunction, exc: Exception, result: RoundResult
+    ) -> None:
+        """Contain a revenue-settlement crash (Shapley re-runs buyer task
+        code on partial mashups) to the one winner it belongs to."""
+        result.rejections.append(
+            Rejection(wtp.buyer, "revenue settlement failed for this sale")
+        )
+        self.audit.append(
+            "settlement_crashed",
+            {"buyer": wtp.buyer, "error": repr(exc)},
+        )
 
     def _execute_transaction(
         self,
@@ -297,29 +434,18 @@ class Arbiter:
         mashup: Mashup,
         satisfaction: float,
         bid_price: float,
-        payment: float,
+        taxed: float,
+        split: RevenueSplit,
         result: RoundResult,
         context: str,
     ) -> None:
         sources = mashup.plan.sources()
-        # licensing + contextual integrity
-        try:
-            for dataset in sources:
-                self.licenses.check_sale(dataset, wtp.buyer, context)
-        except LicensingError as exc:
-            result.rejections.append(Rejection(wtp.buyer, str(exc)))
-            self.audit.append(
-                "sale_blocked", {"buyer": wtp.buyer, "reason": str(exc)}
-            )
+        # licensing + contextual integrity, re-checked sequentially at
+        # commit time: the group-level gate ran against round-start state,
+        # but an exclusive sale committed earlier in this loop must still
+        # block later buyers of the same round
+        if not self._licenses_permit(sources, wtp.buyer, context, result):
             return
-        # exclusivity tax (Section 4.4)
-        taxed = payment
-        for dataset in sources:
-            license = self.licenses.license_of(dataset)
-            taxed = license.price_with_tax(taxed) if taxed else taxed
-        split = self.revenue_engine.split(
-            mashup, taxed, wtp=wtp, resolver=self.builder.metadata.relation
-        )
         # reserve prices: every dataset's share must clear its reserve
         for dataset in sources:
             reserve = self._reserves.get(dataset, 0.0)

@@ -87,6 +87,9 @@ def shapley_shares(
         return {sources[0]: 1.0}
 
     def value(coalition: frozenset) -> float:
+        """One coalition's WTP price; batched via value_batch by the
+        estimator, which folds all 2^n partial-mashup evaluations into a
+        single memoized pass."""
         partial = _partial_plan(mashup.plan, coalition)
         if partial is None:
             return 0.0
@@ -236,3 +239,48 @@ class RevenueAllocationEngine:
             dataset_shares=shares,
             method=self.method,
         )
+
+    def split_batch(
+        self,
+        settlements: list[tuple[Mashup, float]],
+        wtps: list[WTPFunction | None] | None = None,
+        resolver=None,
+        on_error=None,
+    ) -> list["RevenueSplit | None"]:
+        """Settle many sales of one round in one grouped entry point.
+
+        The arbiter hands all of a cleared group's winners here together
+        so every settlement is computed before any ledger movement.  Each
+        settlement is still priced independently — the games have disjoint
+        characteristic functions (one WTP each), so there is nothing to
+        share *across* sales; the vectorization happens *within* each
+        sale's Shapley game, whose 2^n coalitions evaluate through the
+        batched ``exact_shapley`` path.
+
+        Shapley settlement re-runs buyer-supplied task code on partial
+        mashups, so with ``on_error`` given, a settlement that raises is
+        contained: ``on_error(index, exception)`` is called and that slot
+        comes back ``None`` — one hostile winner must not abort the other
+        winners' settlements.  Without ``on_error`` exceptions propagate.
+        """
+        if wtps is None:
+            wtps = [None] * len(settlements)
+        if len(wtps) != len(settlements):
+            raise ValuationError(
+                "split_batch needs one WTP entry per settlement"
+            )
+        results: list[RevenueSplit | None] = []
+        for i, ((mashup, price), wtp) in enumerate(zip(settlements, wtps)):
+            if on_error is None:
+                results.append(
+                    self.split(mashup, price, wtp=wtp, resolver=resolver)
+                )
+                continue
+            try:
+                results.append(
+                    self.split(mashup, price, wtp=wtp, resolver=resolver)
+                )
+            except Exception as exc:  # noqa: BLE001 - sandbox boundary
+                on_error(i, exc)
+                results.append(None)
+        return results

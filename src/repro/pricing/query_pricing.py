@@ -184,7 +184,7 @@ def exhaustive_arbitrage_search(
 
     atoms = sorted(universe)
     if len(atoms) > max_atoms:
-        raise PricingError(f"universe too large for exhaustive search")
+        raise PricingError("universe too large for exhaustive search")
     violations = []
     n = len(atoms)
     for mask in range(1, 1 << n):

@@ -10,18 +10,30 @@ coalition's incentive to defect:
 
 solved as a linear program (scipy linprog, HiGHS).  Feasible only for small
 player counts (2^n constraints) — exactly the regime revenue allocation over
-mashup-contributing datasets lives in.
+mashup-contributing datasets lives in.  All 2^n - 2 proper-coalition values
+are gathered in one :meth:`~repro.valuation.game.CoalitionGame.value_batch`
+call and the constraint matrix is assembled from the same membership matrix,
+so vectorized games pay a single characteristic-function invocation.
 """
 
 from __future__ import annotations
-
-import itertools
 
 import numpy as np
 from scipy.optimize import linprog
 
 from ..errors import ValuationError
-from .game import CoalitionGame
+from .game import CoalitionGame, mask_membership
+
+
+def _proper_coalitions(n: int) -> np.ndarray:
+    """(2^n - 2, n) bool membership of every S with 0 < |S| < n,
+    size-major: all singletons first, then pairs, and so on, ascending
+    bitmask (player 0 = bit 0) within each size."""
+    masks = np.arange(1, (1 << n) - 1, dtype=np.uint64)
+    membership = mask_membership(masks, n)
+    sizes = membership.sum(axis=1)
+    # stable sort by size keeps a deterministic, size-major constraint order
+    return membership[np.argsort(sizes, kind="stable")]
 
 
 def least_core(
@@ -34,41 +46,43 @@ def least_core(
             f"least core over {n} players needs 2^{n} constraints"
         )
     players = list(game.players)
-    index = {p: i for i, p in enumerate(players)}
     grand_value = game.value(game.grand_coalition)
 
     # variables: x_0..x_{n-1}, e  -> minimize e
     c = np.zeros(n + 1)
     c[-1] = 1.0
 
-    a_ub, b_ub = [], []
-    for size in range(1, n):
-        for subset in itertools.combinations(players, size):
-            # -sum_{i in S} x_i - e <= -v(S)
-            row = np.zeros(n + 1)
-            for p in subset:
-                row[index[p]] = -1.0
-            row[-1] = -1.0
-            a_ub.append(row)
-            b_ub.append(-game.value(frozenset(subset)))
+    if n > 1:
+        membership = _proper_coalitions(n)
+        coalition_values = game.value_batch(membership)
+        # -sum_{i in S} x_i - e <= -v(S), one row per proper coalition
+        a_ub = np.hstack(
+            [
+                -membership.astype(float),
+                -np.ones((membership.shape[0], 1)),
+            ]
+        )
+        b_ub = -coalition_values
+    else:
+        a_ub = b_ub = None
 
-    a_eq = [np.ones(n + 1)]
-    a_eq[0][-1] = 0.0
-    b_eq = [grand_value]
+    a_eq = np.ones((1, n + 1))
+    a_eq[0, -1] = 0.0
+    b_eq = np.array([grand_value])
 
     bounds = [(None, None)] * n + [(0.0, None)]
     result = linprog(
         c,
-        A_ub=np.array(a_ub) if a_ub else None,
-        b_ub=np.array(b_ub) if b_ub else None,
-        A_eq=np.array(a_eq),
-        b_eq=np.array(b_eq),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
         bounds=bounds,
         method="highs",
     )
     if not result.success:
         raise ValuationError(f"least-core LP failed: {result.message}")
-    allocation = {p: float(result.x[index[p]]) for p in players}
+    allocation = {p: float(result.x[i]) for i, p in enumerate(players)}
     return allocation, float(result.x[-1])
 
 
@@ -83,10 +97,30 @@ def in_core(
     total = sum(allocation.values())
     if abs(total - game.value(game.grand_coalition)) > tolerance:
         return False
-    players = list(game.players)
-    for size in range(1, len(players)):
-        for subset in itertools.combinations(players, size):
-            payoff = sum(allocation[p] for p in subset)
-            if payoff < game.value(frozenset(subset)) - tolerance:
+    n = game.n
+    if n == 1:
+        return True
+    x = np.array([allocation[p] for p in game.players])
+    # enumerate coalitions in mask chunks: memory stays bounded for any n,
+    # and a violation found in an early chunk skips the rest — important
+    # both for scalar games (each coalition may re-run a buyer task) and
+    # for the sheer 2^n row count at large n
+    chunk = 1 << 16
+    for start in range(1, (1 << n) - 1, chunk):
+        masks = np.arange(
+            start, min(start + chunk, (1 << n) - 1), dtype=np.uint64
+        )
+        membership = mask_membership(masks, n)
+        payoffs = membership.astype(float) @ x
+        if game.vectorized:
+            coalition_values = game.value_batch(membership)
+            if not np.all(payoffs >= coalition_values - tolerance):
                 return False
+        else:
+            # scalar characteristic functions can be expensive (a
+            # WTP-backed game re-runs a buyer task per coalition):
+            # stop at the first violation
+            for row, payoff in zip(membership, payoffs):
+                if payoff < game.value_batch(row[None, :])[0] - tolerance:
+                    return False
     return True

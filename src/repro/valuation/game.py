@@ -6,37 +6,83 @@ Shapley value to "the involved datasets participat[ing] in a coalition".
 :class:`CoalitionGame` is that abstraction: a player set (datasets, rows,
 sellers) plus a characteristic function v(S), memoized because v is usually
 expensive (it re-runs a WTP task on a sub-mashup).
+
+Evaluation accounting
+---------------------
+``evaluations`` counts *distinct coalitions whose value was computed by the
+characteristic function*, no matter which entry point asked for it.  Both
+the scalar :meth:`CoalitionGame.value` path and the vectorized
+:meth:`CoalitionGame.value_batch` path share one cache, keyed by the
+coalition's packed membership bitmask, so interleaving them can never
+double-count: a coalition first seen by ``value`` is a cache hit inside a
+later ``value_batch`` (and vice versa), and duplicates *within* one batch
+are deduplicated before the characteristic function runs.  Cache hits never
+increment ``evaluations``.
+
+Vectorized games supply ``batch_fn``, a function from a boolean membership
+matrix of shape ``(B, n)`` (row ``b`` marks the members of coalition ``b``
+in player order) to a float vector of shape ``(B,)``.  When only one of
+``value_fn`` / ``batch_fn`` is given, the other is derived from it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, Iterable, Sequence
+
+import numpy as np
 
 from ..errors import ValuationError
 
 Coalition = FrozenSet[str]
 
+#: A vectorized characteristic function: (B, n) bool membership -> (B,) float.
+BatchValueFn = Callable[[np.ndarray], np.ndarray]
 
-@dataclass
+
+def mask_membership(masks: np.ndarray, n: int) -> np.ndarray:
+    """Boolean membership matrix for bitmask-encoded coalitions.
+
+    Row b of the result marks the members of ``masks[b]``, with player i at
+    bit i — the single source of truth for the bit order every bitmask
+    enumeration (exact Shapley, least core) must share so their
+    ``value_batch`` cache keys line up.
+    """
+    bits = np.arange(n, dtype=masks.dtype)
+    return ((masks[:, None] >> bits[None, :]) & 1).astype(bool)
+
+
 class CoalitionGame:
-    """Players + memoized characteristic function."""
+    """Players + memoized characteristic function (scalar and batched)."""
 
-    players: tuple[str, ...]
-    _value_fn: Callable[[Coalition], float]
-    _cache: dict[Coalition, float] = field(default_factory=dict)
-    evaluations: int = 0
+    def __init__(
+        self,
+        players: tuple[str, ...],
+        value_fn: Callable[[Coalition], float] | None,
+        batch_fn: BatchValueFn | None = None,
+    ):
+        if value_fn is None and batch_fn is None:
+            raise ValuationError("a game needs value_fn or batch_fn")
+        self.players = tuple(players)
+        self._index = {p: i for i, p in enumerate(self.players)}
+        self._value_fn = value_fn
+        self._batch_fn = batch_fn
+        # one cache for both paths: packed membership bitmask -> value
+        self._cache: dict[bytes, float] = {}
+        self.evaluations = 0
 
     @classmethod
     def of(
-        cls, players: Sequence[str], value_fn: Callable[[Coalition], float]
+        cls,
+        players: Sequence[str],
+        value_fn: Callable[[Coalition], float] | None = None,
+        batch_fn: BatchValueFn | None = None,
     ) -> "CoalitionGame":
         players = tuple(players)
         if len(set(players)) != len(players):
             raise ValuationError("duplicate player names")
         if not players:
             raise ValuationError("a game needs at least one player")
-        return cls(players, value_fn)
+        return cls(players, value_fn, batch_fn)
 
     @property
     def n(self) -> int:
@@ -46,19 +92,133 @@ class CoalitionGame:
     def grand_coalition(self) -> Coalition:
         return frozenset(self.players)
 
+    @property
+    def vectorized(self) -> bool:
+        """Whether a batched characteristic function is available — batch
+        evaluation is then one array call instead of a per-coalition loop."""
+        return self._batch_fn is not None
+
+    # ------------------------------------------------------------------
+    # membership encoding
+    # ------------------------------------------------------------------
+    def membership(
+        self, coalitions: Iterable[Iterable[str]]
+    ) -> np.ndarray:
+        """Boolean membership matrix (B, n) for name-based coalitions."""
+        rows = []
+        for coalition in coalitions:
+            row = np.zeros(self.n, dtype=bool)
+            for p in coalition:
+                idx = self._index.get(p)
+                if idx is None:
+                    raise ValuationError(f"unknown players {[p]}")
+                row[idx] = True
+            rows.append(row)
+        if not rows:
+            return np.zeros((0, self.n), dtype=bool)
+        return np.stack(rows)
+
+    def _key_of(self, members: np.ndarray) -> bytes:
+        return np.packbits(members).tobytes()
+
+    def _coalition_of(self, members: np.ndarray) -> Coalition:
+        return frozenset(
+            self.players[i] for i in np.flatnonzero(members)
+        )
+
+    # ------------------------------------------------------------------
+    # scalar path
+    # ------------------------------------------------------------------
     def value(self, coalition: Iterable[str]) -> float:
-        key = frozenset(coalition)
-        unknown = key - set(self.players)
+        key_set = frozenset(coalition)
+        unknown = key_set - set(self.players)
         if unknown:
             raise ValuationError(f"unknown players {sorted(unknown)}")
+        members = np.zeros(self.n, dtype=bool)
+        for p in key_set:
+            members[self._index[p]] = True
+        key = self._key_of(members)
         if key not in self._cache:
-            self._cache[key] = float(self._value_fn(key))
+            self._cache[key] = float(self._evaluate_one(key_set, members))
             self.evaluations += 1
         return self._cache[key]
+
+    def _evaluate_one(self, coalition: Coalition, members: np.ndarray) -> float:
+        if self._value_fn is not None:
+            return self._value_fn(coalition)
+        return float(
+            np.asarray(self._batch_fn(members[None, :]), dtype=float)[0]
+        )
 
     def marginal(self, player: str, coalition: Iterable[str]) -> float:
         base = frozenset(coalition) - {player}
         return self.value(base | {player}) - self.value(base)
+
+    # ------------------------------------------------------------------
+    # batched path
+    # ------------------------------------------------------------------
+    def value_batch(self, coalitions) -> np.ndarray:
+        """Values of many coalitions in one call — shape ``(B,)``.
+
+        ``coalitions`` is either a boolean membership matrix ``(B, n)``
+        (columns in player order) or an iterable of name-iterables.  Each
+        *distinct* uncached coalition is evaluated exactly once — via
+        ``batch_fn`` in a single vectorized call when available, otherwise
+        by looping the scalar characteristic function — and recorded in the
+        shared cache, so ``evaluations`` grows by the number of genuinely
+        new coalitions only.
+        """
+        if isinstance(coalitions, np.ndarray):
+            members = np.asarray(coalitions, dtype=bool)
+            if members.ndim != 2 or members.shape[1] != self.n:
+                raise ValuationError(
+                    f"membership matrix must be (B, {self.n}); "
+                    f"got {members.shape}"
+                )
+        else:
+            members = self.membership(coalitions)
+        if members.shape[0] == 0:
+            return np.zeros(0, dtype=float)
+
+        packed = np.packbits(members, axis=1)
+        keys = [row.tobytes() for row in packed]
+        out = np.empty(len(keys), dtype=float)
+
+        # dedupe within the batch and against the shared cache
+        missing: dict[bytes, int] = {}
+        for i, key in enumerate(keys):
+            cached = self._cache.get(key)
+            if cached is None and key not in missing:
+                missing[key] = i
+
+        if missing:
+            rows = np.fromiter(missing.values(), dtype=np.intp)
+            new_members = members[rows]
+            if self._batch_fn is not None:
+                values = np.asarray(
+                    self._batch_fn(new_members), dtype=float
+                ).reshape(-1)
+                if values.shape[0] != rows.shape[0]:
+                    raise ValuationError(
+                        "batch_fn returned "
+                        f"{values.shape[0]} values for {rows.shape[0]} "
+                        "coalitions"
+                    )
+            else:
+                values = np.array(
+                    [
+                        self._value_fn(self._coalition_of(row))
+                        for row in new_members
+                    ],
+                    dtype=float,
+                )
+            for key, value in zip(missing, values):
+                self._cache[key] = float(value)
+            self.evaluations += len(missing)
+
+        for i, key in enumerate(keys):
+            out[i] = self._cache[key]
+        return out
 
 
 def efficiency_gap(game: CoalitionGame, allocation: dict[str, float]) -> float:

@@ -7,6 +7,18 @@ conferred by the Shapley value" (Section 3.2.3).  This module provides the
 exact value and the standard efficient approximations the paper's citations
 use (permutation Monte Carlo, and Ghorbani & Zou's truncated Monte Carlo);
 benchmark E3 compares their cost/error trade-offs.
+
+Every estimator has two execution paths selected by ``batched``:
+
+* ``batched=True`` (default) generates all sampled permutations as NumPy
+  index matrices and evaluates prefix coalitions through
+  :meth:`~repro.valuation.game.CoalitionGame.value_batch` — for games with
+  a vectorized ``batch_fn`` the whole estimator collapses into a handful of
+  array operations (benchmark E19 measures the speedup);
+* ``batched=False`` is the original scalar permutation loop, kept as the
+  reference implementation the vectorized path must match: both paths draw
+  the same permutations from the same seed, so allocations agree to
+  floating-point accumulation order (≪ 1e-6).
 """
 
 from __future__ import annotations
@@ -17,14 +29,22 @@ import math
 import numpy as np
 
 from ..errors import ValuationError
-from .game import CoalitionGame
+from .game import CoalitionGame, mask_membership
 
 
-def exact_shapley(game: CoalitionGame, max_players: int = 16) -> dict[str, float]:
+# ---------------------------------------------------------------------------
+# exact Shapley
+# ---------------------------------------------------------------------------
+def exact_shapley(
+    game: CoalitionGame, max_players: int = 16, batched: bool = True
+) -> dict[str, float]:
     """Exact Shapley value by subset enumeration — O(2^n · n).
 
     Refuses games beyond ``max_players`` (the "practical" requirement of
-    Section 3.1: market designs must be computationally efficient).
+    Section 3.1: market designs must be computationally efficient).  The
+    batched path enumerates all 2^n coalitions as one membership matrix,
+    evaluates them in a single :meth:`CoalitionGame.value_batch` call, and
+    combines marginals by vectorized bitmask arithmetic.
     """
     n = game.n
     if n > max_players:
@@ -32,12 +52,36 @@ def exact_shapley(game: CoalitionGame, max_players: int = 16) -> dict[str, float
             f"exact Shapley over {n} players needs 2^{n} evaluations; "
             f"use monte_carlo_shapley instead"
         )
+    if not batched:
+        return _exact_shapley_scalar(game)
+
+    masks = np.arange(1 << n, dtype=np.uint64)
+    membership = mask_membership(masks, n)
+    values = game.value_batch(membership)
+    sizes = membership.sum(axis=1)
+    # w[s] = s! (n-s-1)! / n! for coalitions S (excluding the new player)
+    weights = np.array(
+        [
+            math.factorial(s) * math.factorial(n - s - 1) / math.factorial(n)
+            for s in range(n)
+        ]
+    )
+    shapley = np.zeros(n)
+    for i in range(n):
+        without = ~membership[:, i]
+        base = masks[without]
+        with_i = base | np.uint64(1 << i)
+        marginals = values[with_i] - values[base]
+        shapley[i] = float(np.sum(weights[sizes[base]] * marginals))
+    return {p: float(shapley[i]) for i, p in enumerate(game.players)}
+
+
+def _exact_shapley_scalar(game: CoalitionGame) -> dict[str, float]:
+    """Reference implementation: per-subset scalar evaluation."""
+    n = game.n
     players = game.players
     shapley = {p: 0.0 for p in players}
-    others = {
-        p: [q for q in players if q != p] for p in players
-    }
-    # precompute weights |S|! (n-|S|-1)! / n!
+    others = {p: [q for q in players if q != p] for p in players}
     weights = [
         math.factorial(s) * math.factorial(n - s - 1) / math.factorial(n)
         for s in range(n)
@@ -51,14 +95,87 @@ def exact_shapley(game: CoalitionGame, max_players: int = 16) -> dict[str, float
     return shapley
 
 
+# ---------------------------------------------------------------------------
+# permutation sampling
+# ---------------------------------------------------------------------------
+def _sample_permutations(
+    n: int, n_permutations: int, seed: int
+) -> np.ndarray:
+    """(m, n) index matrix drawn exactly as the scalar loop draws orders.
+
+    One :meth:`numpy.random.Generator.permutation` call per row keeps the
+    random stream identical to the scalar path, so both paths visit the
+    same prefix coalitions for the same seed.
+    """
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [rng.permutation(n) for _ in range(n_permutations)]
+    ).astype(np.intp)
+
+
+def _prefix_membership(perms: np.ndarray, n: int) -> np.ndarray:
+    """(m, n, n) bool: entry [j, i, p] — is player p in perm j's prefix i?"""
+    m = perms.shape[0]
+    ranks = np.empty((m, n), dtype=np.intp)
+    ranks[np.arange(m)[:, None], perms] = np.arange(n)[None, :]
+    return ranks[:, None, :] <= np.arange(n)[None, :, None]
+
+
+#: cap on the boolean prefix tensor one Monte Carlo chunk materializes
+#: (chunk · n · n entries); 2^24 bools ≈ 16 MB keeps memory flat even for
+#: thousand-player games while still batching hundreds of coalitions per
+#: ``value_batch`` call
+_MC_CHUNK_CELLS = 1 << 24
+
+
 def monte_carlo_shapley(
     game: CoalitionGame,
     n_permutations: int = 200,
     seed: int = 0,
+    batched: bool = True,
 ) -> dict[str, float]:
-    """Permutation-sampling estimator: unbiased, O(n) evals per permutation."""
+    """Permutation-sampling estimator: unbiased, O(n) evals per permutation.
+
+    The batched path materializes the prefix coalitions of the sampled
+    permutations as ``(chunk·n, n)`` membership matrices — chunked so
+    memory stays ~constant at large player counts (exactly the regime
+    ``exact_shapley`` hands off to this estimator) — evaluates each chunk
+    in one ``value_batch`` call, and telescopes marginals with a weighted
+    bincount.
+    """
     if n_permutations < 1:
         raise ValuationError("need at least one permutation")
+    if not batched:
+        return _monte_carlo_shapley_scalar(game, n_permutations, seed)
+    n = game.n
+    perms = _sample_permutations(n, n_permutations, seed)
+    empty = game.value_batch(np.zeros((1, n), dtype=bool))[0]
+    chunk = max(1, _MC_CHUNK_CELLS // (n * n))
+    totals = np.zeros(n)
+    for start in range(0, n_permutations, chunk):
+        block = perms[start:start + chunk]
+        m = block.shape[0]
+        prefixes = _prefix_membership(block, n)
+        values = game.value_batch(
+            prefixes.reshape(m * n, n)
+        ).reshape(m, n)
+        previous = np.concatenate(
+            [np.full((m, 1), empty), values[:, :-1]], axis=1
+        )
+        marginals = values - previous
+        totals += np.bincount(
+            block.ravel(), weights=marginals.ravel(), minlength=n
+        )
+    return {
+        p: float(totals[i]) / n_permutations
+        for i, p in enumerate(game.players)
+    }
+
+
+def _monte_carlo_shapley_scalar(
+    game: CoalitionGame, n_permutations: int, seed: int
+) -> dict[str, float]:
+    """Reference implementation: one coalition evaluation at a time."""
     rng = np.random.default_rng(seed)
     players = list(game.players)
     totals = {p: 0.0 for p in players}
@@ -79,13 +196,56 @@ def truncated_monte_carlo_shapley(
     n_permutations: int = 200,
     truncation_tolerance: float = 0.01,
     seed: int = 0,
+    batched: bool = True,
 ) -> dict[str, float]:
     """Ghorbani & Zou's TMC-Shapley: stop scanning a permutation once the
     running coalition's value is within ``truncation_tolerance`` of v(N) —
     the remaining players' marginals are set to zero for that permutation.
+
+    The batched path advances all permutations one prefix *position* at a
+    time: position ``i`` is evaluated in one ``value_batch`` call covering
+    only the permutations still active (not yet truncated), preserving the
+    scalar path's evaluation-saving semantics while vectorizing each step.
     """
     if n_permutations < 1:
         raise ValuationError("need at least one permutation")
+    if not batched:
+        return _truncated_monte_carlo_scalar(
+            game, n_permutations, truncation_tolerance, seed
+        )
+    n = game.n
+    full_value = game.value(game.grand_coalition)
+    threshold = truncation_tolerance * max(abs(full_value), 1e-12)
+    perms = _sample_permutations(n, n_permutations, seed)
+    empty = game.value_batch(np.zeros((1, n), dtype=bool))[0]
+
+    totals = np.zeros(n)
+    previous = np.full(n_permutations, empty)
+    members = np.zeros((n_permutations, n), dtype=bool)
+    active = np.ones(n_permutations, dtype=bool)
+    for i in range(n):
+        active &= np.abs(full_value - previous) > threshold
+        if not active.any():
+            break
+        rows = np.flatnonzero(active)
+        members[rows, perms[rows, i]] = True
+        current = game.value_batch(members[rows])
+        marginals = current - previous[rows]
+        np.add.at(totals, perms[rows, i], marginals)
+        previous[rows] = current
+    return {
+        p: float(totals[i]) / n_permutations
+        for i, p in enumerate(game.players)
+    }
+
+
+def _truncated_monte_carlo_scalar(
+    game: CoalitionGame,
+    n_permutations: int,
+    truncation_tolerance: float,
+    seed: int,
+) -> dict[str, float]:
+    """Reference implementation: scalar permutation scan with truncation."""
     rng = np.random.default_rng(seed)
     players = list(game.players)
     full_value = game.value(game.grand_coalition)
@@ -117,7 +277,13 @@ def shapley_error(
 
 def leave_one_out(game: CoalitionGame) -> dict[str, float]:
     """LOO values: v(N) - v(N \\ {i}).  Cheap (n+1 evals) but ignores
-    synergies — the classic baseline the Shapley literature improves on."""
-    grand = game.grand_coalition
-    full = game.value(grand)
-    return {p: full - game.value(grand - {p}) for p in game.players}
+    synergies — the classic baseline the Shapley literature improves on.
+    All n+1 coalitions go through one ``value_batch`` call."""
+    n = game.n
+    membership = np.ones((n + 1, n), dtype=bool)
+    np.fill_diagonal(membership[1:], False)
+    values = game.value_batch(membership)
+    full = values[0]
+    return {
+        p: float(full - values[i + 1]) for i, p in enumerate(game.players)
+    }

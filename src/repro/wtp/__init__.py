@@ -2,18 +2,26 @@
 
 from .tasks import (
     AggregateAccuracyTask,
+    BatchEvaluationMixin,
     ClassificationTask,
     EmbeddingSimilarityTask,
     ExplorationTask,
     QueryCompletenessTask,
     TaskEvaluationError,
 )
-from .wtp import IntrinsicRequirements, PriceCurve, WTPFunction
+from .wtp import (
+    EvaluationOutcome,
+    IntrinsicRequirements,
+    PriceCurve,
+    WTPFunction,
+)
 
 __all__ = [
     "WTPFunction",
     "PriceCurve",
     "IntrinsicRequirements",
+    "EvaluationOutcome",
+    "BatchEvaluationMixin",
     "ClassificationTask",
     "QueryCompletenessTask",
     "AggregateAccuracyTask",

@@ -28,8 +28,38 @@ class TaskEvaluationError(MarketError):
     """The task could not be evaluated on the given relation."""
 
 
+class BatchEvaluationMixin:
+    """Batched task evaluation with per-candidate containment.
+
+    ``evaluate_batch(relations)`` scores a whole list of candidate mashups
+    in one call — the arbiter's WTP Evaluator groups all candidates of a
+    buyer into a single invocation instead of round-tripping one relation
+    at a time.  Each slot in the returned list is the task's satisfaction
+    value exactly as ``evaluate`` returned it (so downstream sanity checks
+    see what the task really produced), or the caught exception object:
+    a :class:`TaskEvaluationError` instance means the task cannot run on
+    that mashup; any other exception is a contained crash.  One bad
+    candidate never sinks the batch, and a buggy ``evaluate`` returning
+    ``None`` flows through as a satisfaction value — pricing it then
+    fails, so it surfaces as a contained, audited *crash* downstream
+    rather than masquerading as "cannot run".
+
+    Subclasses with shareable per-batch setup can override this; the
+    default simply walks candidates under containment.
+    """
+
+    def evaluate_batch(self, relations: Sequence[Relation]) -> list:
+        out: list = []
+        for relation in relations:
+            try:
+                out.append(self.evaluate(relation))
+            except Exception as exc:  # noqa: BLE001 - sandbox boundary
+                out.append(exc)
+        return out
+
+
 @dataclass
-class ClassificationTask:
+class ClassificationTask(BatchEvaluationMixin):
     """Train a classifier on the mashup joined with the buyer's labels.
 
     The buyer owns ``labels`` (Section 3.2.2.1's "packaged data that buyers
@@ -85,7 +115,7 @@ class ClassificationTask:
 
 
 @dataclass
-class QueryCompletenessTask:
+class QueryCompletenessTask(BatchEvaluationMixin):
     """Satisfaction = completeness of requested entities/attributes.
 
     An approximate-query-processing-style metric (Section 3.2.2.1 cites
@@ -125,7 +155,7 @@ class QueryCompletenessTask:
 
 
 @dataclass
-class AggregateAccuracyTask:
+class AggregateAccuracyTask(BatchEvaluationMixin):
     """Satisfaction = 1 - relative error of an aggregate vs a reference.
 
     Models report-style buyers: "I need the mean of X; I'll pay in
@@ -166,7 +196,7 @@ class AggregateAccuracyTask:
 
 
 @dataclass
-class EmbeddingSimilarityTask:
+class EmbeddingSimilarityTask(BatchEvaluationMixin):
     """Satisfaction = mean cosine similarity to reference embeddings.
 
     Section 4.5 targets markets for "embeddings and ML models": pre-trained
@@ -228,7 +258,7 @@ def _cosine(a: np.ndarray, b: np.ndarray) -> float:
 
 
 @dataclass
-class ExplorationTask:
+class ExplorationTask(BatchEvaluationMixin):
     """A task whose value the buyer only learns *after* using the data.
 
     Section 3.2.2.2: "buyers want to engage in exploratory tasks with data

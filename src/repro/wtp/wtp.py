@@ -17,6 +17,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from ..discovery import MetadataEngine
 from ..errors import MarketError
 from ..relation import Relation
@@ -56,11 +58,26 @@ class PriceCurve:
         return cls(((threshold, price),))
 
     def price_for(self, satisfaction: float) -> float:
+        if satisfaction != satisfaction:  # NaN reaches no threshold
+            return 0.0
         thresholds = [t for t, _p in self.steps]
         i = bisect_right(thresholds, satisfaction)
         if i == 0:
             return 0.0
         return self.steps[i - 1][1]
+
+    def price_for_batch(self, satisfactions) -> np.ndarray:
+        """Vectorized :meth:`price_for` over a satisfaction vector.
+
+        Matches the scalar path pointwise, including NaN satisfactions
+        pricing at 0.0 (a task output the market cannot act on must never
+        command the curve's top price)."""
+        s = np.asarray(satisfactions, dtype=float)
+        thresholds = np.array([t for t, _p in self.steps])
+        prices = np.array([p for _t, p in self.steps])
+        idx = np.searchsorted(thresholds, s, side="right")
+        out = np.where(idx > 0, prices[np.maximum(idx - 1, 0)], 0.0)
+        return np.where(np.isnan(s), 0.0, out)
 
     @property
     def max_price(self) -> float:
@@ -152,6 +169,29 @@ class IntrinsicRequirements:
         return not self.violations(mashup, sources, metadata)
 
 
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """One candidate mashup's result from a batched WTP evaluation.
+
+    Exactly one of three shapes:
+
+    * ``evaluated`` — the task ran: ``satisfaction`` and ``price`` are set
+      (possibly insane values the arbiter still has to sanity-check);
+    * task could not run on this mashup (:class:`TaskEvaluationError`) —
+      all fields ``None``, mirroring :meth:`WTPFunction.try_evaluate`;
+    * ``error`` — the task package *crashed*; the exception is carried so
+      the arbiter can audit it without losing the rest of the batch.
+    """
+
+    satisfaction: float | None = None
+    price: float | None = None
+    error: BaseException | None = None
+
+    @property
+    def evaluated(self) -> bool:
+        return self.error is None and self.satisfaction is not None
+
+
 @dataclass
 class WTPFunction:
     """The buyer's complete offer: task + price curve + constraints."""
@@ -190,3 +230,74 @@ class WTPFunction:
             return self.evaluate(mashup)
         except TaskEvaluationError:
             return None
+
+    def evaluate_batch(
+        self, mashups: Sequence[Relation]
+    ) -> list[EvaluationOutcome]:
+        """Evaluate every candidate mashup in one grouped call.
+
+        When the task package exposes ``evaluate_batch`` (our shipped tasks
+        do, via :class:`~repro.wtp.tasks.BatchEvaluationMixin`), the task
+        scores all candidates in one invocation and the price curve is
+        applied as a single vectorized :meth:`PriceCurve.price_for_batch`.
+        Otherwise candidates are evaluated one by one, with per-candidate
+        containment identical to :meth:`try_evaluate` plus crash capture —
+        a hostile package can sink its own candidates but never the batch.
+        """
+        mashups = list(mashups)
+        if not mashups:
+            return []
+        task_batch = getattr(self.task, "evaluate_batch", None)
+        if task_batch is not None:
+            raw = list(task_batch(mashups))
+            if len(raw) != len(mashups):
+                raise MarketError(
+                    f"task evaluate_batch returned {len(raw)} results "
+                    f"for {len(mashups)} mashups"
+                )
+            out: list[EvaluationOutcome | None] = []
+            slots: list[int] = []
+            sats: list[float] = []
+            for i, r in enumerate(raw):
+                if isinstance(r, TaskEvaluationError):
+                    out.append(EvaluationOutcome())  # task cannot run here
+                elif isinstance(r, BaseException):
+                    out.append(EvaluationOutcome(error=r))
+                elif isinstance(r, float):  # bool is not a float subclass
+                    out.append(None)  # filled after batched pricing
+                    slots.append(i)
+                    sats.append(r)
+                else:
+                    # mirror the scalar path for anything non-float the
+                    # task emitted (bool, str, int, ...): price it through
+                    # the scalar curve — a crash there is contained per
+                    # candidate, and the raw satisfaction survives for the
+                    # arbiter's sanity check to reject
+                    try:
+                        out.append(
+                            EvaluationOutcome(
+                                satisfaction=r,
+                                price=self.curve.price_for(r),
+                            )
+                        )
+                    except Exception as exc:  # noqa: BLE001 - sandbox boundary
+                        out.append(EvaluationOutcome(error=exc))
+            if slots:
+                prices = self.curve.price_for_batch(sats)
+                for i, s, p in zip(slots, sats, prices):
+                    out[i] = EvaluationOutcome(
+                        satisfaction=s, price=float(p)
+                    )
+            return out
+        results: list[EvaluationOutcome] = []
+        for mashup in mashups:
+            try:
+                satisfaction, price = self.evaluate(mashup)
+                results.append(
+                    EvaluationOutcome(satisfaction=satisfaction, price=price)
+                )
+            except TaskEvaluationError:
+                results.append(EvaluationOutcome())
+            except Exception as exc:  # noqa: BLE001 - sandbox boundary
+                results.append(EvaluationOutcome(error=exc))
+        return results

@@ -6,7 +6,6 @@ import pytest
 from repro.datagen import make_classification_world
 from repro.errors import MarketError
 from repro.market import (
-    ARBITER_ACCOUNT,
     Arbiter,
     BuyerPlatform,
     License,
@@ -15,8 +14,7 @@ from repro.market import (
     external_market,
     internal_market,
 )
-from repro.relation import Column, Relation
-from repro.wtp import PriceCurve
+from repro.wtp import PriceCurve, WTPFunction
 
 
 @pytest.fixture
@@ -150,6 +148,79 @@ def test_exclusive_license_enforced_across_buyers(world):
     blocked = [r for r in result.rejections if "exclusively" in r.reason]
     if len(sellers_of_sold) == 1 and result.transactions < 2:
         assert blocked or result.transactions == 1
+
+
+def test_same_round_exclusive_contention_blocks_second_winner(world):
+    """Two winners of one cleared group contend for one exclusivity slot:
+    the first commits, the second is blocked at (deferred) settlement."""
+    license = License(LicenseKind.EXCLUSIVE, exclusivity_tax_rate=0.0)
+    arbiter, *_ = build_market(
+        world, design=internal_market(), license_0=license
+    )
+    for name in ("b1", "b2"):
+        b = BuyerPlatform(name)
+        arbiter.register_participant(name)
+        b.submit(arbiter, classification_wtp(b, world, steps=((0.7, 10.0),)))
+    result = arbiter.run_round()
+    # posted price 0 makes both buyers winners of the same good; only one
+    # may hold the exclusively licensed dataset
+    assert result.transactions == 1
+    assert any("exclusively licensed" in r.reason for r in result.rejections)
+    assert arbiter.audit.records("sale_blocked")
+    assert arbiter.ledger.conservation_check()
+
+
+def test_same_round_transfer_contention_blocks_second_winner(world):
+    """TRANSFER licenses also consume their slot at commit: the second
+    same-group winner must be blocked, not settled and then rejected."""
+    license = License(LicenseKind.TRANSFER)
+    arbiter, *_ = build_market(
+        world, design=internal_market(), license_0=license
+    )
+    for name in ("b1", "b2"):
+        b = BuyerPlatform(name)
+        arbiter.register_participant(name)
+        b.submit(arbiter, classification_wtp(b, world, steps=((0.7, 10.0),)))
+    result = arbiter.run_round()
+    assert result.transactions == 1
+    assert any("transferred" in r.reason for r in result.rejections)
+    assert arbiter.ledger.conservation_check()
+
+
+def test_settlement_crash_contained_to_its_winner(world):
+    """Shapley settlement re-runs buyer task code on partial mashups; a
+    task that crashes there must sink only its own sale, not the round."""
+
+    class PartialHostileTask:
+        required_attributes = ["f0", "f1", "f3"]
+
+        def evaluate(self, relation):
+            if "f3" not in relation.schema or "f0" not in relation.schema:
+                raise ValueError("hostile: crashes on partial mashups")
+            return 0.9
+
+    design = internal_market()
+    design.revenue_sharing = "shapley"
+    arbiter, *_ = build_market(world, design=design)
+    arbiter.register_participant("hostile")
+    arbiter.submit_wtp(
+        WTPFunction(
+            buyer="hostile",
+            task=PartialHostileTask(),
+            curve=PriceCurve.single(0.5, 10.0),
+        )
+    )
+    honest = BuyerPlatform("honest")
+    arbiter.register_participant("honest")
+    honest.submit(arbiter, classification_wtp(honest, world,
+                                              steps=((0.7, 10.0),)))
+    result = arbiter.run_round()  # must not raise
+    assert any(d.buyer == "honest" for d in result.deliveries)
+    assert not any(d.buyer == "hostile" for d in result.deliveries)
+    assert any(r.buyer == "hostile" and "settlement" in r.reason
+               for r in result.rejections)
+    assert arbiter.audit.records("settlement_crashed")
+    assert arbiter.ledger.conservation_check()
 
 
 def test_unregistered_buyer_rejected(world):

@@ -11,7 +11,7 @@ from repro.discovery import (
     profile_table,
 )
 from repro.errors import DiscoveryError
-from repro.relation import Column, Relation, Schema
+from repro.relation import Column, Relation
 
 
 def make_orders(n=50):

@@ -9,8 +9,6 @@ incident instead of crashing.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -116,7 +114,7 @@ def test_underfunded_buyer_rejected_not_crashed(market):
             labels=world.label_relation, features=["f0", "f1"],
             price_steps=[(0.7, price)],
         ))
-    result = arbiter.run_round()  # must not raise
+    arbiter.run_round()  # must not raise
     # 'poor' either lost the auction or was rejected for lack of funds;
     # either way, the ledger never went negative
     for account in arbiter.ledger.accounts:

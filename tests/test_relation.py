@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
-from repro.relation import Column, ProvToken, Relation, Schema
+from repro.relation import Column, ProvToken, Relation
 
 
 @pytest.fixture

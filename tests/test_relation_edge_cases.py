@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relation import Column, ProvOne, Relation, Schema
+from repro.relation import Column, ProvOne, Relation
 
 
 @pytest.fixture

@@ -10,7 +10,6 @@ from repro.sketches import (
     LSHIndex,
     MinHash,
     NumericSummary,
-    containment,
     jaccard_exact,
     stable_hash,
 )

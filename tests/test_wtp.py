@@ -5,7 +5,7 @@ import pytest
 from repro.datagen import make_classification_world
 from repro.discovery import MetadataEngine
 from repro.errors import MarketError
-from repro.relation import Column, Relation
+from repro.relation import Relation
 from repro.wtp import (
     AggregateAccuracyTask,
     ClassificationTask,
