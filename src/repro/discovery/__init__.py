@@ -1,10 +1,16 @@
 """Data discovery: profiling, metadata engine, index builder, search."""
 
 from .index import IndexBuilder, JoinCandidate
-from .metadata import ContextSnapshot, DatasetLifecycle, MetadataEngine
+from .metadata import (
+    ContextSnapshot,
+    DatasetLifecycle,
+    MetadataDelta,
+    MetadataEngine,
+)
 from .profiler import (
     ColumnProfile,
     TableProfile,
+    column_content_hash,
     name_similarity,
     profile_column,
     profile_table,
@@ -16,8 +22,10 @@ __all__ = [
     "TableProfile",
     "profile_column",
     "profile_table",
+    "column_content_hash",
     "name_similarity",
     "MetadataEngine",
+    "MetadataDelta",
     "ContextSnapshot",
     "DatasetLifecycle",
     "IndexBuilder",

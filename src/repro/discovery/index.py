@@ -14,6 +14,17 @@ Join candidates are proposed from three signals and scored in [0, 1]:
 gated on dtype compatibility and key-likeness of at least one side.  The
 relationship graph is a networkx graph over datasets whose edges carry the
 best join predicate; the DoD engine searches it for join paths.
+
+Maintenance is **incremental** by default: the builder keeps a persistent
+:class:`~repro.sketches.lsh.LSHIndex` over column MinHash signatures plus a
+semantic-tag inverted index, and on every :class:`MetadataDelta` re-scores
+only the changed dataset's columns against their bucketed neighbours,
+patching candidates and the graph in place — removals prune, updates
+re-score.  With the default single-row banding the neighbour set provably
+covers every pair the exhaustive scorer would emit (any candidate needs
+either estimated overlap > 0 or a shared semantic tag), so incremental and
+full-rebuild modes produce identical output.  The O(C²) full rebuild stays
+available as the reference oracle behind ``incremental=False``.
 """
 
 from __future__ import annotations
@@ -23,8 +34,9 @@ from dataclasses import dataclass
 import networkx as nx
 
 from ..errors import DiscoveryError
-from .metadata import ContextSnapshot, MetadataEngine
-from .profiler import ColumnProfile, name_similarity
+from ..sketches import LSHIndex
+from .metadata import MetadataDelta, MetadataEngine
+from .profiler import ColumnProfile, TableProfile, name_similarity
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,14 @@ class JoinCandidate:
         )
 
 
+def _candidate_sort_key(c: JoinCandidate) -> tuple:
+    """Deterministic global order: best score first, then dataset names,
+    then column names — ties between column pairs of the same dataset pair
+    are stable."""
+    return (-c.score, c.left_dataset, c.right_dataset,
+            c.left_column, c.right_column)
+
+
 class IndexBuilder:
     """Maintains join candidates + relationship graph over a MetadataEngine."""
 
@@ -60,41 +80,83 @@ class IndexBuilder:
         min_overlap: float = 0.5,
         min_name_similarity: float = 0.8,
         subscribe: bool = True,
+        incremental: bool = True,
+        lsh_bands: int | None = None,
     ):
         self.engine = engine
         self.min_overlap = min_overlap
         self.min_name_similarity = min_name_similarity
-        self._candidates: list[JoinCandidate] = []
+        #: patch on deltas (default) vs. full O(C²) rebuild on any change
+        self.incremental = incremental
+        #: LSH bands for neighbour bucketing; ``None`` means one row per
+        #: band (exact recall — incremental output matches the oracle).
+        #: Fewer bands trade recall for smaller buckets.
+        self.lsh_bands = lsh_bands
+        self._profiles: dict[str, TableProfile] = {}
+        #: registration order, mirroring the engine's lifecycle order; fixes
+        #: candidate orientation identically to the full-rebuild enumeration
+        self._order: dict[str, int] = {}
+        self._next_order = 0
+        self._lsh: LSHIndex | None = None
+        self._semantic: dict[str, set[tuple[str, str]]] = {}
+        self._candidates: dict[tuple, JoinCandidate] = {}
+        self._pairs_of: dict[str, set[tuple]] = {}
+        self._sorted: list[JoinCandidate] | None = None
         self._graph = nx.Graph()
         self._stale = True
+        self._subscription = None
         if subscribe:
-            engine.subscribe(self._on_snapshot)
+            self._subscription = engine.subscribe(self._on_delta)
+
+    # -- lifecycle ---------------------------------------------------------
+    def detach(self) -> None:
+        """Unsubscribe from the metadata engine (idempotent): a discarded
+        builder must not linger as a dangling listener.
+
+        A detached builder is *frozen at detach-time state* — like one
+        constructed with ``subscribe=False``, it no longer tracks engine
+        changes; call :meth:`refresh` explicitly to resync."""
+        if self._subscription is not None:
+            self.engine.unsubscribe(self._subscription)
+            self._subscription = None
 
     # -- incremental maintenance -----------------------------------------
-    def _on_snapshot(self, _snapshot: ContextSnapshot) -> None:
-        self._stale = True
+    def _on_delta(self, delta: MetadataDelta) -> None:
+        if not self.incremental:
+            self._stale = True
+            return
+        if self._stale:
+            return  # a pending full build will absorb this change
+        if delta.kind == "removed":
+            self._remove_dataset(delta.dataset)
+        else:
+            self._upsert_dataset(delta.snapshot.profile)
 
     def refresh(self) -> None:
-        """Rebuild candidates/graph from the engine's current profiles."""
+        """Full rebuild from the engine's current profiles (the O(C²)
+        reference oracle; also primes the incremental structures)."""
         profiles = self.engine.profiles()
+        self._profiles = {p.dataset: p for p in profiles}
+        self._order = {p.dataset: i for i, p in enumerate(profiles)}
+        self._next_order = len(profiles)
+        self._rebuild_buckets()
         columns: list[ColumnProfile] = [
             c for p in profiles for c in p.columns
         ]
-        self._candidates = []
+        self._candidates = {}
+        self._pairs_of = {p.dataset: set() for p in profiles}
         for i, a in enumerate(columns):
             for b in columns[i + 1 :]:
                 if a.dataset == b.dataset:
                     continue
                 cand = self._score_pair(a, b)
                 if cand is not None:
-                    self._candidates.append(cand)
-        self._candidates.sort(
-            key=lambda c: (-c.score, c.left_dataset, c.right_dataset)
-        )
+                    self._store_candidate(cand)
+        self._sorted = None
         self._graph = nx.Graph()
         for p in profiles:
             self._graph.add_node(p.dataset, n_rows=p.n_rows)
-        for cand in self._candidates:
+        for cand in self._sorted_candidates():
             u, v = cand.left_dataset, cand.right_dataset
             if (
                 not self._graph.has_edge(u, v)
@@ -108,6 +170,142 @@ class IndexBuilder:
                     evidence=cand.evidence,
                 )
         self._stale = False
+
+    def _rebuild_buckets(self) -> None:
+        self._lsh = None
+        self._semantic = {}
+        for profile in self._profiles.values():
+            self._bucket_columns(profile)
+
+    def _bucket_columns(self, profile: TableProfile) -> None:
+        for col in profile.columns:
+            if self._lsh is None:
+                num_perm = col.signature.num_perm
+                self._lsh = LSHIndex(
+                    num_perm=num_perm, bands=self.lsh_bands or num_perm
+                )
+            self._lsh.add(col.key, col.signature)
+            if col.semantic is not None:
+                self._semantic.setdefault(col.semantic, set()).add(col.key)
+
+    def _unbucket_columns(self, profile: TableProfile) -> None:
+        for col in profile.columns:
+            self._lsh.remove(col.key)
+            if col.semantic is not None:
+                tagged = self._semantic.get(col.semantic)
+                if tagged is not None:
+                    tagged.discard(col.key)
+                    if not tagged:
+                        del self._semantic[col.semantic]
+
+    def _upsert_dataset(self, profile: TableProfile) -> None:
+        name = profile.dataset
+        if name in self._profiles:
+            self._drop_derived_state(name)
+            self._profiles[name] = profile  # dict position preserved
+        else:
+            self._profiles[name] = profile
+            self._order[name] = self._next_order
+            self._next_order += 1
+        self._bucket_columns(profile)
+        self._pairs_of.setdefault(name, set())
+        self._graph.add_node(name, n_rows=profile.n_rows)
+        touched: set[str] = set()
+        for col in profile.columns:
+            for other_key in self._neighbour_keys(col):
+                other_ds, other_col = other_key
+                if other_ds == name:
+                    continue
+                other = self._profiles[other_ds].column(other_col)
+                a, b = self._oriented(col, other)
+                cand = self._score_pair(a, b)
+                if cand is not None:
+                    self._store_candidate(cand)
+                    touched.add(other_ds)
+        self._sorted = None
+        for other_ds in touched:
+            self._rebuild_edge(name, other_ds)
+
+    def _remove_dataset(self, name: str) -> None:
+        if name not in self._profiles:
+            return
+        self._drop_derived_state(name)
+        del self._profiles[name]
+        del self._order[name]
+        self._sorted = None
+
+    def _drop_derived_state(self, name: str) -> None:
+        """Prune buckets, candidates and graph edges touching ``name``."""
+        self._unbucket_columns(self._profiles[name])
+        for pair_key in self._pairs_of.pop(name, ()):
+            cand = self._candidates.pop(pair_key, None)
+            if cand is None:
+                continue
+            other = (
+                cand.right_dataset
+                if cand.left_dataset == name
+                else cand.left_dataset
+            )
+            self._pairs_of[other].discard(pair_key)
+        if name in self._graph:
+            self._graph.remove_node(name)
+        self._sorted = None
+
+    def _neighbour_keys(self, col: ColumnProfile) -> set[tuple[str, str]]:
+        """Columns that could form a candidate with ``col``: LSH collisions
+        (any pair with estimated overlap > 0 under single-row banding) plus
+        same-semantic columns.  Falls back to every indexed column when
+        ``min_overlap <= 0`` (the overlap gate then prunes nothing)."""
+        if self.min_overlap <= 0:
+            return set(self._lsh.keys())
+        keys = self._lsh.candidates(col.signature)
+        if col.semantic is not None:
+            keys |= self._semantic.get(col.semantic, set())
+        keys.discard(col.key)
+        return keys
+
+    def _oriented(
+        self, a: ColumnProfile, b: ColumnProfile
+    ) -> tuple[ColumnProfile, ColumnProfile]:
+        """Left/right orientation identical to the full-rebuild enumeration:
+        earlier-registered dataset (then earlier schema column) is left."""
+        ka = (self._order[a.dataset], self._column_index(a))
+        kb = (self._order[b.dataset], self._column_index(b))
+        return (a, b) if ka < kb else (b, a)
+
+    def _column_index(self, col: ColumnProfile) -> int:
+        columns = self._profiles[col.dataset].columns
+        for i, c in enumerate(columns):
+            if c.column == col.column:
+                return i
+        raise DiscoveryError(
+            f"column {col.column!r} missing from {col.dataset!r} profile"
+        )
+
+    def _store_candidate(self, cand: JoinCandidate) -> None:
+        pair_key = (cand.left_dataset, cand.left_column,
+                    cand.right_dataset, cand.right_column)
+        self._candidates[pair_key] = cand
+        self._pairs_of.setdefault(cand.left_dataset, set()).add(pair_key)
+        self._pairs_of.setdefault(cand.right_dataset, set()).add(pair_key)
+
+    def _rebuild_edge(self, u: str, v: str) -> None:
+        """Recompute the best-candidate edge between two datasets in place."""
+        pair_keys = self._pairs_of.get(u, set()) & self._pairs_of.get(v, set())
+        if self._graph.has_edge(u, v):
+            self._graph.remove_edge(u, v)
+        if not pair_keys:
+            return
+        best = min(
+            (self._candidates[k] for k in pair_keys), key=_candidate_sort_key
+        )
+        self._graph.add_edge(
+            best.left_dataset, best.right_dataset,
+            left=best.left_column,
+            right=best.right_column,
+            score=best.score,
+            evidence=best.evidence,
+        )
 
     def _ensure_fresh(self) -> None:
         if self._stale:
@@ -141,13 +339,20 @@ class IndexBuilder:
             )
         return None
 
+    def _sorted_candidates(self) -> list[JoinCandidate]:
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._candidates.values(), key=_candidate_sort_key
+            )
+        return self._sorted
+
     # -- queries -----------------------------------------------------------
     def join_candidates(
         self, dataset: str | None = None, min_score: float = 0.0
     ) -> list[JoinCandidate]:
         self._ensure_fresh()
         out = []
-        for c in self._candidates:
+        for c in self._sorted_candidates():
             if c.score < min_score:
                 continue
             if dataset is None:
@@ -183,7 +388,7 @@ class IndexBuilder:
         steps = []
         for u, v in zip(nodes, nodes[1:]):
             d = g.edges[u, v]
-            # edge attributes are stored from the refresh()-time orientation
+            # edge attributes are stored from the build-time orientation
             cand = JoinCandidate(u, d["left"], v, d["right"], d["score"],
                                  d["evidence"])
             if not self._orientation_matches(u, d):
@@ -194,9 +399,7 @@ class IndexBuilder:
 
     def _orientation_matches(self, u: str, edge_data: dict) -> bool:
         """True if edge attribute 'left' is a column of dataset ``u``."""
-        profile = next(
-            p for p in self.engine.profiles() if p.dataset == u
-        )
+        profile = self._profiles[u]
         return any(c.column == edge_data["left"] for c in profile.columns)
 
     def neighbours(self, dataset: str) -> list[str]:

@@ -10,7 +10,7 @@ in time.  The engine's relational *output schema* is produced by the Sink.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from ..errors import DiscoveryError
 from ..relation import Relation
@@ -28,6 +28,25 @@ class ContextSnapshot:
     profile: TableProfile
     owners: tuple[str, ...]
     credentials: str  # e.g. "public", "team:finance", "pii"
+
+
+@dataclass(frozen=True)
+class MetadataDelta:
+    """Typed change event the engine emits to subscribers.
+
+    Downstream indexes consume these instead of bare staleness pings: the
+    delta carries everything needed to patch derived state in place —
+    ``snapshot`` (with per-column profiles) for added/updated datasets,
+    ``previous`` for updated/removed ones.
+    """
+
+    kind: str  # "added" | "updated" | "removed"
+    dataset: str
+    snapshot: ContextSnapshot | None
+    previous: ContextSnapshot | None = None
+
+
+MetadataListener = Callable[[MetadataDelta], None]
 
 
 @dataclass
@@ -57,7 +76,8 @@ class MetadataEngine:
         #: "optional access quota established by the origin system")
         self.access_quota = access_quota
         self._accesses = 0
-        self._listeners: list = []
+        self._listeners: list[MetadataListener] = []
+        self._newest_logical_time = 0
 
     # -- ingestion (batch + share interfaces) ---------------------------
     def register(
@@ -74,13 +94,17 @@ class MetadataEngine:
         if lifecycle is not None and lifecycle.current.content_hash == content_hash:
             return lifecycle.current  # unchanged: no new snapshot
         self._clock += 1
-        version = lifecycle.version + 1 if lifecycle else 1
+        previous = lifecycle.current if lifecycle else None
         snapshot = ContextSnapshot(
             dataset=name,
-            version=version,
+            version=previous.version + 1 if previous else 1,
             logical_time=self._clock,
             content_hash=content_hash,
-            profile=profile_table(relation, num_perm=self._num_perm),
+            profile=profile_table(
+                relation,
+                num_perm=self._num_perm,
+                previous=previous.profile if previous else None,
+            ),
             owners=(owner,),
             credentials=credentials,
         )
@@ -89,8 +113,15 @@ class MetadataEngine:
         else:
             lifecycle.relation = relation
             lifecycle.snapshots.append(snapshot)
-        for listener in self._listeners:
-            listener(snapshot)
+        self._newest_logical_time = self._clock
+        self._notify(
+            MetadataDelta(
+                kind="added" if previous is None else "updated",
+                dataset=name,
+                snapshot=snapshot,
+                previous=previous,
+            )
+        )
         return snapshot
 
     def register_batch(
@@ -102,9 +133,44 @@ class MetadataEngine:
         """Batch interface: point at a whole source (lake, DB, CSV dir)."""
         return [self.register(r, owner, credentials) for r in relations]
 
-    def subscribe(self, listener) -> None:
-        """Call ``listener(snapshot)`` on every new snapshot (index refresh)."""
+    def remove(self, name: str) -> MetadataDelta:
+        """Withdraw a dataset (seller retirement): drop its lifecycle and
+        notify subscribers so derived indexes prune it in place."""
+        lifecycle = self._lifecycle(name)
+        del self._lifecycles[name]
+        if lifecycle.current.logical_time >= self._newest_logical_time:
+            self._newest_logical_time = max(
+                (lc.current.logical_time for lc in self._lifecycles.values()),
+                default=0,
+            )
+        delta = MetadataDelta(
+            kind="removed",
+            dataset=name,
+            snapshot=None,
+            previous=lifecycle.current,
+        )
+        self._notify(delta)
+        return delta
+
+    def subscribe(self, listener: MetadataListener) -> MetadataListener:
+        """Call ``listener(delta)`` on every change; returns the listener as
+        a detach token for :meth:`unsubscribe`."""
         self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: MetadataListener) -> None:
+        """Detach a subscriber so discarded consumers don't leak as dangling
+        listeners in long-running deployments."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            raise DiscoveryError(
+                "listener is not subscribed to this metadata engine"
+            ) from None
+
+    def _notify(self, delta: MetadataDelta) -> None:
+        for listener in list(self._listeners):
+            listener(delta)
 
     def _check_quota(self) -> None:
         self._accesses += 1
@@ -117,6 +183,12 @@ class MetadataEngine:
     @property
     def datasets(self) -> list[str]:
         return sorted(self._lifecycles)
+
+    @property
+    def newest_logical_time(self) -> int:
+        """Logical time of the freshest live snapshot (0 when empty) —
+        O(1); freshness/version-lag checks need not scan every dataset."""
+        return self._newest_logical_time
 
     def __contains__(self, name: str) -> bool:
         return name in self._lifecycles

@@ -8,6 +8,7 @@ per-dataset bundle stored inside context snapshots.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from difflib import SequenceMatcher
 
@@ -27,6 +28,9 @@ class ColumnProfile:
     numeric: NumericSummary | None
     categorical: CategoricalSummary
     distinct_fraction: float
+    #: hash of the column's raw values; lets re-profiling skip unchanged
+    #: columns when a dataset version only touches some of them
+    content_hash: str = ""
 
     @property
     def key(self) -> tuple[str, str]:
@@ -56,9 +60,20 @@ class TableProfile:
         raise KeyError(f"no profile for column {name!r} of {self.dataset!r}")
 
 
+def column_content_hash(relation: Relation, name: str) -> str:
+    """Deterministic hash of one column's values (order-sensitive)."""
+    h = hashlib.blake2b(digest_size=16)
+    for v in relation.column(name):
+        h.update(repr(v).encode())
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
 def profile_column(
-    relation: Relation, name: str, num_perm: int = 64
+    relation: Relation, name: str, num_perm: int = 64,
+    content_hash: str | None = None,
 ) -> ColumnProfile:
+    """Sketch one column; pass ``content_hash`` when already computed."""
     col = relation.schema[name]
     values = relation.column(name)
     non_null = [v for v in values if v is not None]
@@ -79,18 +94,48 @@ def profile_column(
         numeric=numeric,
         categorical=categorical,
         distinct_fraction=(len(distinct) / len(non_null)) if non_null else 0.0,
+        content_hash=content_hash or column_content_hash(relation, name),
     )
 
 
-def profile_table(relation: Relation, num_perm: int = 64) -> TableProfile:
+def profile_table(
+    relation: Relation,
+    num_perm: int = 64,
+    previous: TableProfile | None = None,
+) -> TableProfile:
+    """Profile every column; with ``previous`` (the dataset's prior profile),
+    columns whose values, dtype and semantic are unchanged reuse the old
+    :class:`ColumnProfile` — no re-sketching — so incremental re-registration
+    of a wide dataset only pays for the columns that actually moved.
+    """
+    prior = (
+        {c.column: c for c in previous.columns} if previous is not None else {}
+    )
+    columns = []
+    for name in relation.columns:
+        col = relation.schema[name]
+        old = prior.get(name)
+        content_hash = column_content_hash(relation, name)
+        if (
+            old is not None
+            and old.content_hash
+            and old.dtype == col.dtype
+            and old.semantic == col.semantic
+            and old.signature.num_perm == num_perm
+            and old.content_hash == content_hash
+        ):
+            columns.append(old)
+            continue
+        columns.append(
+            profile_column(
+                relation, name, num_perm=num_perm, content_hash=content_hash
+            )
+        )
     return TableProfile(
         dataset=relation.name,
         n_rows=len(relation),
         content_hash=relation.content_hash(),
-        columns=tuple(
-            profile_column(relation, n, num_perm=num_perm)
-            for n in relation.columns
-        ),
+        columns=tuple(columns),
     )
 
 

@@ -35,17 +35,48 @@ class DatasetHit:
 
 
 class DiscoveryEngine:
-    """Keyword + schema search over the registered corpus."""
+    """Keyword + schema search over the registered corpus.
 
-    def __init__(self, engine: MetadataEngine, index: IndexBuilder):
+    Attribute-resolution results are memoized and invalidated by the
+    metadata engine's typed deltas, so the DoD engine's repeated lookups
+    against an unchanged corpus don't re-scan every profile.
+    """
+
+    def __init__(
+        self, engine: MetadataEngine, index: IndexBuilder,
+        subscribe: bool = True,
+    ):
         self.engine = engine
         self.index = index
+        self._match_cache: dict[tuple[str, float], list[AttributeMatch]] = {}
+        self._subscription = (
+            engine.subscribe(self._on_delta) if subscribe else None
+        )
+
+    def _on_delta(self, _delta) -> None:
+        self._match_cache.clear()
+
+    def detach(self) -> None:
+        """Unsubscribe from the metadata engine (idempotent).
+
+        The memo cache is dropped with the subscription: without delta
+        invalidation it could serve stale matches, so post-detach lookups
+        always recompute against the live corpus.
+        """
+        if self._subscription is not None:
+            self.engine.unsubscribe(self._subscription)
+            self._subscription = None
+        self._match_cache.clear()
 
     # -- attribute resolution ---------------------------------------------
     def match_attribute(
         self, requested: str, min_score: float = 0.55
     ) -> list[AttributeMatch]:
         """All columns matching one requested attribute name/semantic."""
+        cache_key = (requested, min_score)
+        cached = self._match_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
         out = []
         for profile in self.engine.profiles():
             for col in profile.columns:
@@ -55,7 +86,9 @@ class DiscoveryEngine:
                         AttributeMatch(requested, col.dataset, col.column, score)
                     )
         out.sort(key=lambda m: (-m.score, m.dataset, m.column))
-        return out
+        if self._subscription is not None:
+            self._match_cache[cache_key] = out
+        return list(out)
 
     @staticmethod
     def _attribute_score(requested: str, col: ColumnProfile) -> float:

@@ -36,7 +36,7 @@ from typing import NamedTuple
 
 import numpy as np
 
-from ..errors import LicensingError, MarketError
+from ..errors import DiscoveryError, LicensingError, MarketError
 from ..integration import Mashup, MashupRequest
 from ..mashup import MashupBuilder
 from ..mechanisms import Bid, ExPostReport
@@ -169,11 +169,23 @@ class Arbiter:
         license: License | None = None,
         policy: ContextualIntegrityPolicy | None = None,
     ) -> None:
-        """Fig. 2's seller→arbiter dataset flow."""
+        """Fig. 2's seller→arbiter dataset flow.
+
+        Re-accepting a name the same seller already holds is an *update*
+        (new version + refreshed license/reserve); a name held by a
+        different seller is rejected before any state moves.
+        """
         if seller not in self.ledger:
             self.register_participant(seller)
         if reserve_price < 0:
             raise MarketError("reserve price must be non-negative")
+        if relation.name in self.licenses:
+            if self.licenses.owner_of(relation.name) != seller:
+                raise MarketError(
+                    f"dataset {relation.name!r} is already registered to "
+                    f"{self.licenses.owner_of(relation.name)!r}"
+                )
+            self.licenses.deregister(relation.name)
         self.builder.add_dataset(relation, owner=seller)
         self.licenses.register(
             relation.name, owner=seller, license=license, policy=policy
@@ -188,6 +200,21 @@ class Arbiter:
                 "reserve": reserve_price,
             },
         )
+
+    def retire_dataset(self, dataset: str) -> None:
+        """Seller withdrawal: prune the dataset from discovery in place.
+
+        Already-granted licenses and lineage records stay on the books —
+        past sales remain auditable — but no future mashup may source it.
+        """
+        try:
+            self.builder.remove_dataset(dataset)
+        except DiscoveryError as exc:
+            raise MarketError(str(exc)) from None
+        if dataset in self.licenses:
+            self.licenses.deregister(dataset)
+        self._reserves.pop(dataset, None)
+        self.audit.append("dataset_retired", {"dataset": dataset})
 
     def submit_wtp(self, wtp: WTPFunction) -> None:
         if wtp.buyer not in self.ledger:

@@ -33,9 +33,14 @@ class GapReport:
 class MashupBuilder:
     """Facade over metadata engine, index builder, discovery and DoD."""
 
-    def __init__(self, num_perm: int = 64, min_overlap: float = 0.5):
+    def __init__(
+        self, num_perm: int = 64, min_overlap: float = 0.5,
+        incremental: bool = True,
+    ):
         self.metadata = MetadataEngine(num_perm=num_perm)
-        self.index = IndexBuilder(self.metadata, min_overlap=min_overlap)
+        self.index = IndexBuilder(
+            self.metadata, min_overlap=min_overlap, incremental=incremental
+        )
         self.discovery = DiscoveryEngine(self.metadata, self.index)
         self.dod = DoDEngine(self.metadata, self.index, self.discovery)
         self._gap_demand: dict[str, int] = {}
@@ -51,6 +56,16 @@ class MashupBuilder:
     def add_datasets(self, relations, owner: str = "unknown") -> None:
         for r in relations:
             self.add_dataset(r, owner=owner)
+
+    def remove_dataset(self, name: str) -> None:
+        """Withdraw a dataset; discovery indexes prune it in place."""
+        self.metadata.remove(name)
+
+    def close(self) -> None:
+        """Detach index/search listeners from the metadata engine so a
+        discarded builder does not leak into long-running simulations."""
+        self.index.detach()
+        self.discovery.detach()
 
     @property
     def datasets(self) -> list[str]:

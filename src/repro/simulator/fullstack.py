@@ -57,6 +57,8 @@ def simulate_market_deployment(
     satisfaction_threshold: float = 0.5,
     key: str = "entity_id",
     seed: int = 0,
+    arrivals: dict[int, list[Relation]] | None = None,
+    departures: dict[int, list[str]] | None = None,
 ) -> FullStackResult:
     """Deploy ``design`` on a real arbiter and run agent populations.
 
@@ -64,27 +66,69 @@ def simulate_market_deployment(
     WTP bidding ``strategy.bid(v)``, and the arbiter clears the market.
     Utilities use the *true* values, so strategic distortion shows up as
     welfare/utility loss exactly as in the mechanism-level simulator.
+
+    ``arrivals`` (round -> new seller datasets) and ``departures``
+    (round -> dataset names to retire) exercise the long-running
+    deployment story: the discovery indexes are patched incrementally
+    before the round clears, with no full rebuild stalling the market.
     """
     if n_rounds < 1 or n_buyers < 1:
         raise SimulationError("need at least one round and one buyer")
     if not datasets:
         raise SimulationError("need at least one seller dataset")
+    arrivals = arrivals or {}
+    departures = departures or {}
+    # replay the churn timeline upfront: every departure must name a dataset
+    # live at that round (departures are processed before arrivals), and no
+    # arrival may reuse a still-live name
+    active = {ds.name for ds in datasets}
+    if len(active) != len(datasets):
+        raise SimulationError("initial datasets have duplicate names")
+    for r in sorted(set(departures) | set(arrivals)):
+        for name in departures.get(r, ()):
+            if name not in active:
+                raise SimulationError(
+                    f"departure of {name!r} at round {r} names a dataset "
+                    f"that is not live then"
+                )
+            active.discard(name)
+        for ds in arrivals.get(r, ()):
+            if ds.name in active:
+                raise SimulationError(
+                    f"arrival of {ds.name!r} at round {r} clashes with a "
+                    f"still-live dataset of that name"
+                )
+            active.add(ds.name)
     rng = np.random.default_rng(seed)
     arbiter = Arbiter(design)
-    for i, dataset in enumerate(datasets):
-        arbiter.accept_dataset(dataset, seller=f"seller_{i}")
+    sellers: list[str] = []
+
+    def _accept(dataset: Relation) -> None:
+        seller = f"seller_{len(sellers)}"
+        sellers.append(seller)
+        arbiter.accept_dataset(dataset, seller=seller)
+
+    for dataset in datasets:
+        _accept(dataset)
 
     agents = build_population(n_buyers, strategy_mix, strategy_kwargs)
     funding = 0.0 if design.incentive != "money" else 1e7
     for agent in agents:
         arbiter.register_participant(agent.name, funding=funding)
 
+    all_datasets = list(datasets) + [
+        ds for round_datasets in arrivals.values() for ds in round_datasets
+    ]
     wanted_keys = sorted(
-        {row[0] for ds in datasets for row in ds.rows}
+        {row[0] for ds in all_datasets for row in ds.rows}
     )
     revenue = welfare = 0.0
     transactions = rejections = 0
     for _round in range(n_rounds):
+        for name in departures.get(_round, ()):
+            arbiter.retire_dataset(name)
+        for dataset in arrivals.get(_round, ()):
+            _accept(dataset)
         true_values = {a.name: value_sampler(rng) for a in agents}
         for agent in agents:
             bid = agent.submit(true_values[agent.name], rng)
@@ -122,8 +166,7 @@ def simulate_market_deployment(
         stats.wins += agent.wins
         stats.spent += agent.spent
     seller_balances = {
-        f"seller_{i}": arbiter.ledger.balance(f"seller_{i}")
-        for i in range(len(datasets))
+        seller: arbiter.ledger.balance(seller) for seller in sellers
     }
     return FullStackResult(
         rounds=n_rounds,

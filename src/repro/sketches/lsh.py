@@ -47,17 +47,42 @@ class LSHIndex:
             band_key = tuple(signature.signature[lo : lo + self.rows])
             bucket[band_key].append(key)
 
+    def remove(self, key: Hashable) -> None:
+        """Drop a key from every band bucket (incremental index maintenance)."""
+        try:
+            signature = self._signatures.pop(key)
+        except KeyError:
+            raise KeyError(f"key {key!r} is not indexed") from None
+        for band, bucket in enumerate(self._buckets):
+            lo = band * self.rows
+            band_key = tuple(signature.signature[lo : lo + self.rows])
+            keys = bucket[band_key]
+            keys.remove(key)
+            if not keys:
+                del bucket[band_key]
+
+    def candidates(self, signature: MinHash) -> set[Hashable]:
+        """Raw colliding keys for ``signature``, without similarity scoring.
+
+        With ``bands == num_perm`` (one row per band) this is *exact-recall*:
+        every indexed signature sharing at least one minimum with the query —
+        i.e. every pair with estimated Jaccard > 0 — collides.
+        """
+        if signature.num_perm != self.num_perm:
+            raise ValueError("signature width does not match index")
+        out: set[Hashable] = set()
+        for band, bucket in enumerate(self._buckets):
+            lo = band * self.rows
+            band_key = tuple(signature.signature[lo : lo + self.rows])
+            out.update(bucket.get(band_key, ()))
+        return out
+
     def query(self, signature: MinHash, min_jaccard: float = 0.0) -> list[tuple[Hashable, float]]:
         """Candidate keys colliding with ``signature``, with their estimated
         Jaccard similarity, filtered by ``min_jaccard`` and sorted best-first.
         """
-        candidates: set[Hashable] = set()
-        for band, bucket in enumerate(self._buckets):
-            lo = band * self.rows
-            band_key = tuple(signature.signature[lo : lo + self.rows])
-            candidates.update(bucket.get(band_key, ()))
         scored = []
-        for key in candidates:
+        for key in self.candidates(signature):
             sim = signature.jaccard(self._signatures[key])
             if sim >= min_jaccard:
                 scored.append((key, sim))

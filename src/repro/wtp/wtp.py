@@ -148,10 +148,9 @@ class IntrinsicRequirements:
                         f"not in allowed {self.allowed_owners}"
                     )
                 if self.max_version_lag is not None:
-                    newest = max(
-                        metadata.snapshot(d).logical_time
-                        for d in metadata.datasets
-                    )
+                    # O(1) on the engine; the old per-source scan over every
+                    # registered dataset stalled large corpora
+                    newest = metadata.newest_logical_time
                     lag = newest - snapshot.logical_time
                     if lag > self.max_version_lag:
                         problems.append(
