@@ -1,6 +1,6 @@
 """Data discovery: profiling, metadata engine, index builder, search."""
 
-from .index import IndexBuilder, JoinCandidate
+from .index import IndexBuilder, JoinCandidate, JoinPredicate
 from .metadata import (
     ContextSnapshot,
     DatasetLifecycle,
@@ -30,6 +30,7 @@ __all__ = [
     "DatasetLifecycle",
     "IndexBuilder",
     "JoinCandidate",
+    "JoinPredicate",
     "DiscoveryEngine",
     "AttributeMatch",
     "DatasetHit",

@@ -12,8 +12,17 @@ Join candidates are proposed from three signals and scored in [0, 1]:
 * **name similarity** — normalized column-name distance,
 
 gated on dtype compatibility and key-likeness of at least one side.  The
-relationship graph is a networkx graph over datasets whose edges carry the
-best join predicate; the DoD engine searches it for join paths.
+relationship graph is a :class:`networkx.MultiGraph` over datasets carrying
+**every** qualifying join predicate per dataset pair — one parallel edge per
+column pair, plus a *composite* edge grouping disjoint value-backed column
+pairs into a multi-column (composite-key) predicate.  Each predicate also
+records an inclusion-dependency direction (``pk_side``) inferred from
+containment asymmetry: when one column's values are essentially contained in
+the other's and the containing column is key-like, the containing side is
+the referenced (primary-key) side.  The DoD engine searches the graph for
+join paths and prunes plan assignments spanning disconnected components via
+the :meth:`IndexBuilder.components` / :meth:`IndexBuilder.reachable` API,
+which stays correct under incremental register/update/remove deltas.
 
 Maintenance is **incremental** by default: the builder keeps a persistent
 :class:`~repro.sketches.lsh.LSHIndex` over column MinHash signatures plus a
@@ -49,6 +58,9 @@ class JoinCandidate:
     right_column: str
     score: float
     evidence: str  # "overlap" | "semantic" | "name"
+    #: dataset inferred to hold the referenced (primary-key) side of an
+    #: inclusion dependency, or None when containment is symmetric/weak
+    pk_side: str | None = None
 
     @property
     def pair(self) -> tuple[tuple[str, str], tuple[str, str]]:
@@ -59,7 +71,44 @@ class JoinCandidate:
         return JoinCandidate(
             self.right_dataset, self.right_column,
             self.left_dataset, self.left_column,
-            self.score, self.evidence,
+            self.score, self.evidence, self.pk_side,
+        )
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """One relationship-graph edge: a (possibly multi-column) join predicate.
+
+    ``pairs`` lists (left_column, right_column) pairs; single-column
+    predicates carry exactly one pair, composite-key predicates several.
+    ``pk_side`` names the dataset inferred to be the referenced (PK) side of
+    the inclusion dependency, or None when direction is undecidable.
+    """
+
+    left_dataset: str
+    right_dataset: str
+    pairs: tuple[tuple[str, str], ...]
+    score: float
+    evidence: str  # "overlap" | "semantic" | "name" | "composite"
+    pk_side: str | None = None
+
+    @property
+    def left_column(self) -> str:
+        return self.pairs[0][0]
+
+    @property
+    def right_column(self) -> str:
+        return self.pairs[0][1]
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.pairs) > 1
+
+    def reversed(self) -> "JoinPredicate":
+        return JoinPredicate(
+            self.right_dataset, self.left_dataset,
+            tuple((rc, lc) for lc, rc in self.pairs),
+            self.score, self.evidence, self.pk_side,
         )
 
 
@@ -102,7 +151,12 @@ class IndexBuilder:
         self._candidates: dict[tuple, JoinCandidate] = {}
         self._pairs_of: dict[str, set[tuple]] = {}
         self._sorted: list[JoinCandidate] | None = None
-        self._graph = nx.Graph()
+        self._graph = nx.MultiGraph()
+        #: bumped on every graph mutation; keys the component cache
+        self._graph_version = 0
+        self._components: tuple[frozenset[str], ...] = ()
+        self._component_id: dict[str, int] = {}
+        self._components_version = -1
         self._stale = True
         self._subscription = None
         if subscribe:
@@ -153,22 +207,16 @@ class IndexBuilder:
                 if cand is not None:
                     self._store_candidate(cand)
         self._sorted = None
-        self._graph = nx.Graph()
+        self._graph = nx.MultiGraph()
         for p in profiles:
             self._graph.add_node(p.dataset, n_rows=p.n_rows)
+        pairs_seen: set[tuple[str, str]] = set()
         for cand in self._sorted_candidates():
-            u, v = cand.left_dataset, cand.right_dataset
-            if (
-                not self._graph.has_edge(u, v)
-                or self._graph.edges[u, v]["score"] < cand.score
-            ):
-                self._graph.add_edge(
-                    u, v,
-                    left=cand.left_column,
-                    right=cand.right_column,
-                    score=cand.score,
-                    evidence=cand.evidence,
-                )
+            pair = (cand.left_dataset, cand.right_dataset)
+            if pair not in pairs_seen:
+                pairs_seen.add(pair)
+                self._add_pair_edges(*pair)
+        self._graph_version += 1
         self._stale = False
 
     def _rebuild_buckets(self) -> None:
@@ -210,6 +258,7 @@ class IndexBuilder:
         self._bucket_columns(profile)
         self._pairs_of.setdefault(name, set())
         self._graph.add_node(name, n_rows=profile.n_rows)
+        self._graph_version += 1
         touched: set[str] = set()
         for col in profile.columns:
             for other_key in self._neighbour_keys(col):
@@ -224,7 +273,7 @@ class IndexBuilder:
                     touched.add(other_ds)
         self._sorted = None
         for other_ds in touched:
-            self._rebuild_edge(name, other_ds)
+            self._rebuild_pair_edges(name, other_ds)
 
     def _remove_dataset(self, name: str) -> None:
         if name not in self._profiles:
@@ -249,6 +298,7 @@ class IndexBuilder:
             self._pairs_of[other].discard(pair_key)
         if name in self._graph:
             self._graph.remove_node(name)
+            self._graph_version += 1
         self._sorted = None
 
     def _neighbour_keys(self, col: ColumnProfile) -> set[tuple[str, str]]:
@@ -289,23 +339,75 @@ class IndexBuilder:
         self._pairs_of.setdefault(cand.left_dataset, set()).add(pair_key)
         self._pairs_of.setdefault(cand.right_dataset, set()).add(pair_key)
 
-    def _rebuild_edge(self, u: str, v: str) -> None:
-        """Recompute the best-candidate edge between two datasets in place."""
-        pair_keys = self._pairs_of.get(u, set()) & self._pairs_of.get(v, set())
-        if self._graph.has_edge(u, v):
+    def _rebuild_pair_edges(self, u: str, v: str) -> None:
+        """Recompute all parallel edges between two datasets in place."""
+        while self._graph.has_edge(u, v):
             self._graph.remove_edge(u, v)
-        if not pair_keys:
-            return
-        best = min(
+        self._add_pair_edges(u, v)
+        self._graph_version += 1
+
+    def _add_pair_edges(self, u: str, v: str) -> None:
+        """Insert one edge per predicate between ``u`` and ``v`` (in the
+        deterministic order of :meth:`_pair_predicates`)."""
+        for pred in self._pair_predicates(u, v):
+            self._graph.add_edge(
+                pred.left_dataset, pred.right_dataset,
+                key=pred.pairs,
+                left_dataset=pred.left_dataset,
+                left=pred.left_column,
+                right=pred.right_column,
+                pairs=pred.pairs,
+                score=pred.score,
+                evidence=pred.evidence,
+                pk_side=pred.pk_side,
+            )
+
+    def _pair_predicates(self, u: str, v: str) -> list[JoinPredicate]:
+        """All join predicates between two datasets, derived deterministically
+        from the current candidate set: one single-column predicate per
+        candidate, plus one composite-key predicate grouping column-disjoint
+        value-backed candidates (evidence "overlap"/"semantic") when at least
+        two qualify.  Candidates between a fixed dataset pair all share the
+        same registration-order orientation, so pair tuples are consistent.
+        """
+        pair_keys = self._pairs_of.get(u, set()) & self._pairs_of.get(v, set())
+        cands = sorted(
             (self._candidates[k] for k in pair_keys), key=_candidate_sort_key
         )
-        self._graph.add_edge(
-            best.left_dataset, best.right_dataset,
-            left=best.left_column,
-            right=best.right_column,
-            score=best.score,
-            evidence=best.evidence,
-        )
+        preds = [
+            JoinPredicate(
+                c.left_dataset, c.right_dataset,
+                ((c.left_column, c.right_column),),
+                c.score, c.evidence, c.pk_side,
+            )
+            for c in cands
+        ]
+        used_left: set[str] = set()
+        used_right: set[str] = set()
+        members: list[JoinCandidate] = []
+        for c in cands:
+            if c.evidence == "name":
+                continue  # composite keys need value-backed evidence
+            if c.left_column in used_left or c.right_column in used_right:
+                continue
+            members.append(c)
+            used_left.add(c.left_column)
+            used_right.add(c.right_column)
+        if len(members) >= 2:
+            sides = {m.pk_side for m in members}
+            pk_side = sides.pop() if len(sides) == 1 else None
+            preds.append(
+                JoinPredicate(
+                    members[0].left_dataset, members[0].right_dataset,
+                    tuple((m.left_column, m.right_column) for m in members),
+                    # max, not mean: the composite predicate is at least as
+                    # selective as its best member, and keeping path costs
+                    # equal to the best single edge preserves shortest paths
+                    max(m.score for m in members),
+                    "composite", pk_side,
+                )
+            )
+        return preds
 
     def _ensure_fresh(self) -> None:
         if self._stale:
@@ -318,9 +420,11 @@ class IndexBuilder:
             return None
         joinable = a.looks_like_key or b.looks_like_key
         overlap = a.signature.jaccard(b.signature)
+        pk_side = _infer_pk_side(a, b, overlap)
         if joinable and overlap >= self.min_overlap:
             return JoinCandidate(
-                a.dataset, a.column, b.dataset, b.column, overlap, "overlap"
+                a.dataset, a.column, b.dataset, b.column, overlap, "overlap",
+                pk_side,
             )
         if (
             a.semantic is not None
@@ -329,13 +433,13 @@ class IndexBuilder:
         ):
             return JoinCandidate(
                 a.dataset, a.column, b.dataset, b.column,
-                max(overlap, 0.75), "semantic",
+                max(overlap, 0.75), "semantic", pk_side,
             )
         name_sim = name_similarity(a.column, b.column)
         if joinable and name_sim >= self.min_name_similarity and overlap > 0.1:
             return JoinCandidate(
                 a.dataset, a.column, b.dataset, b.column,
-                0.5 * name_sim + 0.5 * overlap, "name",
+                0.5 * name_sim + 0.5 * overlap, "name", pk_side,
             )
         return None
 
@@ -364,43 +468,55 @@ class IndexBuilder:
         return out
 
     @property
-    def graph(self) -> nx.Graph:
+    def graph(self) -> nx.MultiGraph:
         self._ensure_fresh()
         return self._graph
 
-    def join_path(self, source: str, target: str) -> list[JoinCandidate]:
-        """Cheapest join path between two datasets (weight = 1 - score)."""
+    def join_path(self, source: str, target: str) -> list[JoinPredicate]:
+        """Cheapest join path between two datasets (weight = 1 - score; for
+        parallel edges networkx takes the cheapest, i.e. the best-scored
+        predicate, so path costs match the old single-best-edge graph).
+        Each step is the best predicate of its pair — composite preferred on
+        score ties, as joining on more equality pairs is more selective —
+        oriented so ``left_dataset`` is the already-reached side."""
         self._ensure_fresh()
         g = self._graph
         if source not in g or target not in g:
             raise DiscoveryError(
                 f"unknown dataset in join_path: {source!r} or {target!r}"
             )
+        if self.component_of(source) != self.component_of(target):
+            raise DiscoveryError(
+                f"no join path between {source!r} and {target!r}"
+            )
         try:
+            # a callable weight on a MultiGraph receives the keyed dict of
+            # all parallel edges: the pair's cost is its best predicate's
             nodes = nx.shortest_path(
                 g, source, target,
-                weight=lambda u, v, d: 1.0 - d["score"],
+                weight=lambda u, v, d: 1.0 - max(
+                    attrs["score"] for attrs in d.values()
+                ),
             )
-        except nx.NetworkXNoPath:
+        except nx.NetworkXNoPath:  # pragma: no cover - component check above
             raise DiscoveryError(
                 f"no join path between {source!r} and {target!r}"
             ) from None
         steps = []
         for u, v in zip(nodes, nodes[1:]):
-            d = g.edges[u, v]
-            # edge attributes are stored from the build-time orientation
-            cand = JoinCandidate(u, d["left"], v, d["right"], d["score"],
-                                 d["evidence"])
-            if not self._orientation_matches(u, d):
-                cand = JoinCandidate(u, d["right"], v, d["left"], d["score"],
-                                     d["evidence"])
-            steps.append(cand)
+            d = min(
+                g.get_edge_data(u, v).values(),
+                key=lambda d: (-d["score"], -len(d["pairs"]), d["pairs"]),
+            )
+            pred = JoinPredicate(
+                d["left_dataset"],
+                v if d["left_dataset"] == u else u,
+                d["pairs"], d["score"], d["evidence"], d["pk_side"],
+            )
+            if pred.left_dataset != u:
+                pred = pred.reversed()
+            steps.append(pred)
         return steps
-
-    def _orientation_matches(self, u: str, edge_data: dict) -> bool:
-        """True if edge attribute 'left' is a column of dataset ``u``."""
-        profile = self._profiles[u]
-        return any(c.column == edge_data["left"] for c in profile.columns)
 
     def neighbours(self, dataset: str) -> list[str]:
         self._ensure_fresh()
@@ -408,9 +524,93 @@ class IndexBuilder:
             raise DiscoveryError(f"unknown dataset {dataset!r}")
         return sorted(self._graph.neighbors(dataset))
 
+    # -- connectivity ------------------------------------------------------
+    def _ensure_components(self) -> None:
+        if self._components_version == self._graph_version:
+            return
+        comps = sorted(
+            (frozenset(c) for c in nx.connected_components(self._graph)),
+            key=min,
+        )
+        self._components = tuple(comps)
+        self._component_id = {
+            ds: i for i, comp in enumerate(comps) for ds in comp
+        }
+        self._components_version = self._graph_version
+
+    def components(self) -> tuple[frozenset[str], ...]:
+        """Connected components of the relationship graph, deterministically
+        ordered by smallest member.  Recomputed lazily only when the
+        incrementally maintained graph actually changed."""
+        self._ensure_fresh()
+        self._ensure_components()
+        return self._components
+
+    def component_of(self, dataset: str) -> int | None:
+        """Index of ``dataset``'s component in :meth:`components`, or None
+        for datasets the graph does not know."""
+        self._ensure_fresh()
+        self._ensure_components()
+        return self._component_id.get(dataset)
+
+    def reachable(self, datasets) -> bool:
+        """True when every named dataset lies in one connected component —
+        i.e. a join tree spanning all of them can exist.  The DoD planner
+        uses this to discard assignments before scoring them."""
+        ids = set()
+        for ds in datasets:
+            cid = self.component_of(ds)
+            if cid is None:
+                return False
+            ids.add(cid)
+            if len(ids) > 1:
+                return False
+        return True
+
 
 def _dtypes_compatible(a: str, b: str) -> bool:
     numeric = {"int", "float"}
     if a in numeric and b in numeric:
         return True
     return a == b or "any" in (a, b)
+
+
+#: a column whose values are ≥95% contained in the other side's is treated
+#: as the referencing (FK) side of an inclusion dependency
+_CONTAINMENT_THRESHOLD = 0.95
+#: minimum containment gap before direction is called (symmetry guard)
+_CONTAINMENT_GAP = 0.05
+
+
+def _infer_pk_side(
+    a: ColumnProfile, b: ColumnProfile, jaccard: float
+) -> str | None:
+    """Inclusion-dependency direction from containment asymmetry.
+
+    From estimated Jaccard ``j`` and the sides' distinct counts ``da, db``,
+    the intersection size is ``j/(1+j) * (da+db)`` and per-side containments
+    follow.  When one side is essentially contained in the other (>= 0.95),
+    the gap is material, and the containing column is key-like, the
+    containing side is the referenced (PK) dataset — the PK→FK orientation
+    the DoD engine can exploit.  Purely profile-derived, so incremental and
+    full-rebuild maintenance agree.
+    """
+    da, db = a.categorical.distinct, b.categorical.distinct
+    if jaccard <= 0.0 or da == 0 or db == 0:
+        return None
+    inter = jaccard / (1.0 + jaccard) * (da + db)
+    cont_a = min(1.0, inter / da)  # fraction of a's values appearing in b
+    cont_b = min(1.0, inter / db)
+    if (
+        cont_a >= _CONTAINMENT_THRESHOLD
+        and cont_a - cont_b >= _CONTAINMENT_GAP
+        and b.looks_like_key
+    ):
+        return b.dataset
+    if (
+        cont_b >= _CONTAINMENT_THRESHOLD
+        and cont_b - cont_a >= _CONTAINMENT_GAP
+        and a.looks_like_key
+    ):
+        return a.dataset
+    return None

@@ -1,6 +1,6 @@
 """Integration: DoD engine, mapping-function synthesis, prep transforms."""
 
-from .dod import DoDEngine, MashupRequest, TransformHint
+from .dod import DoDEngine, MashupRequest, PlannerStats, TransformHint
 from .plan import JoinStep, Mashup, MashupPlan, TransformStep, qualified
 from .synthesis import (
     KNOWN_CONVERSIONS,
@@ -17,6 +17,7 @@ from .transforms import downsample_mean, interpolate_to_grid, pivot
 __all__ = [
     "DoDEngine",
     "MashupRequest",
+    "PlannerStats",
     "TransformHint",
     "Mashup",
     "MashupPlan",

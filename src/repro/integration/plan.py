@@ -35,16 +35,28 @@ def _qualify(relation: Relation) -> Relation:
 
 @dataclass(frozen=True)
 class JoinStep:
-    """Join the running mashup with ``dataset`` on qualified columns."""
+    """Join the running mashup with ``dataset`` on qualified columns.
+
+    ``left_on``/``right_on`` carry the primary column pair; composite-key
+    joins add further pairs through ``extra_on``.  :attr:`pairs` exposes the
+    full equi-join predicate.
+    """
 
     dataset: str
     left_on: str  # qualified column already present in the running mashup
     right_on: str  # qualified column of the incoming dataset
     score: float = 1.0
+    #: additional (left, right) qualified column pairs of a composite key
+    extra_on: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        return ((self.left_on, self.right_on), *self.extra_on)
 
     def describe(self) -> str:
+        predicate = " and ".join(f"{lc} = {rc}" for lc, rc in self.pairs)
         return (
-            f"join {self.dataset} on {self.left_on} = {self.right_on} "
+            f"join {self.dataset} on {predicate} "
             f"(confidence {self.score:.2f})"
         )
 
@@ -95,19 +107,18 @@ class MashupPlan:
         rel = _qualify(resolver(self.base))
         for step in self.joins:
             right = _qualify(resolver(step.dataset))
-            if step.left_on not in rel.schema:
-                raise IntegrationError(
-                    f"join column {step.left_on!r} missing from running "
-                    f"mashup (plan is inconsistent)"
-                )
-            if step.right_on not in right.schema:
-                raise IntegrationError(
-                    f"join column {step.right_on!r} missing from dataset "
-                    f"{step.dataset!r}"
-                )
-            rel = rel.join(
-                right, on=[(step.left_on, step.right_on)], keep_right=True
-            )
+            for left_col, right_col in step.pairs:
+                if left_col not in rel.schema:
+                    raise IntegrationError(
+                        f"join column {left_col!r} missing from running "
+                        f"mashup (plan is inconsistent)"
+                    )
+                if right_col not in right.schema:
+                    raise IntegrationError(
+                        f"join column {right_col!r} missing from dataset "
+                        f"{step.dataset!r}"
+                    )
+            rel = rel.join(right, on=list(step.pairs), keep_right=True)
         for step in self.transforms:
             if step.source_column not in rel.schema:
                 raise IntegrationError(

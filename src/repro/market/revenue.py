@@ -186,10 +186,10 @@ def _join_equivalences(plan: MashupPlan) -> dict[str, set[str]]:
     """Equivalence classes of qualified columns linked by join predicates."""
     classes: dict[str, set[str]] = {}
     for step in plan.joins:
-        a, b = step.left_on, step.right_on
-        merged = classes.get(a, {a}) | classes.get(b, {b})
-        for member in merged:
-            classes[member] = merged
+        for a, b in step.pairs:
+            merged = classes.get(a, {a}) | classes.get(b, {b})
+            for member in merged:
+                classes[member] = merged
     return classes
 
 

@@ -35,14 +35,18 @@ class MashupBuilder:
 
     def __init__(
         self, num_perm: int = 64, min_overlap: float = 0.5,
-        incremental: bool = True,
+        incremental: bool = True, exhaustive: bool = False,
+        beam_width: int | None = None,
     ):
         self.metadata = MetadataEngine(num_perm=num_perm)
         self.index = IndexBuilder(
             self.metadata, min_overlap=min_overlap, incremental=incremental
         )
         self.discovery = DiscoveryEngine(self.metadata, self.index)
-        self.dod = DoDEngine(self.metadata, self.index, self.discovery)
+        self.dod = DoDEngine(
+            self.metadata, self.index, self.discovery,
+            exhaustive=exhaustive, beam_width=beam_width,
+        )
         self._gap_demand: dict[str, int] = {}
         self._hints: list[TransformHint] = []
 

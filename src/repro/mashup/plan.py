@@ -1,4 +1,8 @@
-"""Re-export of mashup plan types (implementation lives in integration)."""
+"""Re-export of mashup plan types (implementation lives in integration).
+
+``JoinStep`` carries multi-column (composite-key) join predicates via
+``extra_on``/``pairs``; see :mod:`repro.integration.plan`.
+"""
 
 from ..integration.plan import (  # noqa: F401
     JoinStep,

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..market.arbiter import Arbiter
 from ..market.design import MarketDesign
+from ..mashup import MashupBuilder
 from ..relation import Relation
 from ..wtp import PriceCurve, QueryCompletenessTask, WTPFunction
 from .metrics import StrategyStats, gini
@@ -59,6 +60,7 @@ def simulate_market_deployment(
     seed: int = 0,
     arrivals: dict[int, list[Relation]] | None = None,
     departures: dict[int, list[str]] | None = None,
+    planner: str = "beam",
 ) -> FullStackResult:
     """Deploy ``design`` on a real arbiter and run agent populations.
 
@@ -71,7 +73,15 @@ def simulate_market_deployment(
     (round -> dataset names to retire) exercise the long-running
     deployment story: the discovery indexes are patched incrementally
     before the round clears, with no full rebuild stalling the market.
+
+    ``planner`` selects the DoD plan enumerator the deployed arbiter runs:
+    ``"beam"`` (component-pruned best-first search, the default) or
+    ``"exhaustive"`` (the reference-oracle product sweep).
     """
+    if planner not in ("beam", "exhaustive"):
+        raise SimulationError(
+            f"unknown planner {planner!r}: expected 'beam' or 'exhaustive'"
+        )
     if n_rounds < 1 or n_buyers < 1:
         raise SimulationError("need at least one round and one buyer")
     if not datasets:
@@ -100,7 +110,9 @@ def simulate_market_deployment(
                 )
             active.add(ds.name)
     rng = np.random.default_rng(seed)
-    arbiter = Arbiter(design)
+    arbiter = Arbiter(
+        design, builder=MashupBuilder(exhaustive=(planner == "exhaustive"))
+    )
     sellers: list[str] = []
 
     def _accept(dataset: Relation) -> None:

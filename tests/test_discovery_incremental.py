@@ -54,12 +54,14 @@ def canonical_candidates(index: IndexBuilder) -> list[tuple]:
     ]
 
 
-def canonical_graph(index: IndexBuilder) -> tuple[dict, dict]:
+def canonical_graph(index: IndexBuilder) -> tuple[dict, set]:
     g = index.graph
     nodes = {n: g.nodes[n].get("n_rows") for n in g.nodes}
+    # the multigraph carries every qualifying predicate as a parallel edge:
+    # canonicalize the full edge *set*, directions included
     edges = {
-        tuple(sorted((u, v))): (d["left"], d["right"], d["score"],
-                                d["evidence"])
+        (tuple(sorted((u, v))), d["left_dataset"], d["pairs"], d["score"],
+         d["evidence"], d["pk_side"])
         for u, v, d in g.edges(data=True)
     }
     return nodes, edges
@@ -125,6 +127,110 @@ def test_candidate_order_breaks_ties_on_column_names():
     assert cands == canonical_candidates(oracle)
     equal_scores = [c for c in cands if c[4] == cands[0][4]]
     assert equal_scores == sorted(equal_scores)
+
+
+# -- multigraph maintenance: multi-edges, composites, direction --------------
+
+
+def two_key_relation(name: str, n: int, start: int = 0) -> Relation:
+    """Two key-like columns shared across datasets: yields parallel edges
+    plus a composite-key predicate between any pair."""
+    frac = (sum(map(ord, name)) % 97) / 100  # payloads never overlap
+    return Relation(
+        name,
+        [Column("order_key", "int"), Column("batch_code", "str"),
+         Column(f"{name}_payload", "float")],
+        [(start + i, f"b{start + i}", -(start + i) - frac)
+         for i in range(n)],
+    )
+
+
+def test_multigraph_maintenance_matches_refresh_rebuild():
+    """After update/remove deltas the incrementally patched multigraph —
+    parallel edge sets, composite predicates, directions — must equal a
+    from-scratch ``refresh()`` rebuild."""
+    eng = MetadataEngine(num_perm=64)
+    index = IndexBuilder(eng)
+    eng.register(two_key_relation("sales", 30))
+    eng.register(two_key_relation("returns", 30))
+    eng.register(two_key_relation("audits", 24))  # subset: directed edges
+    eng.register(two_key_relation("sales", 32))  # update delta
+    eng.remove("returns")
+    eng.register(two_key_relation("returns", 28, start=2))  # re-arrival
+    incremental_view = (canonical_candidates(index), canonical_graph(index))
+    index.refresh()  # the O(C²) from-scratch oracle build
+    assert (canonical_candidates(index), canonical_graph(index)) == (
+        incremental_view
+    )
+    # parallel edges: both single-column predicates and the composite
+    evidences = {
+        d["evidence"] for _u, _v, d in index.graph.edges(data=True)
+    }
+    assert "composite" in evidences and "overlap" in evidences
+    composite = [
+        d for _u, _v, d in index.graph.edges(data=True)
+        if d["evidence"] == "composite"
+    ]
+    assert all(len(d["pairs"]) == 2 for d in composite)
+
+
+def test_pk_fk_direction_inferred_and_maintained():
+    eng = MetadataEngine(num_perm=256)
+    index = IndexBuilder(eng)
+    oracle = IndexBuilder(eng, incremental=False)
+    customers = Relation(
+        "customers",
+        [Column("customer_id", "int"), Column("city", "str")],
+        [(i, "oslo" if i % 2 else "rome") for i in range(100)],
+    )
+    orders = Relation(
+        "orders",
+        [Column("customer_id", "int"), Column("amount", "float")],
+        [(i, float(i)) for i in range(80)],
+    )
+    eng.register_batch([customers, orders])
+    (cand,) = index.join_candidates(min_score=0.5)
+    assert cand.pk_side == "customers"  # orders.customer_id ⊆ customers'
+    (step,) = index.join_path("orders", "customers")
+    assert step.pk_side == "customers"
+    assert_equivalent(index, oracle)
+    # updated orders now carries the full key range: containment symmetric
+    eng.register(Relation(
+        "orders",
+        [Column("customer_id", "int"), Column("amount", "float")],
+        [(i, float(i)) for i in range(100)],
+    ))
+    (cand,) = index.join_candidates(min_score=0.5)
+    assert cand.pk_side is None
+    assert_equivalent(index, oracle)
+
+
+def test_components_api_tracks_deltas():
+    eng = MetadataEngine(num_perm=64)
+    index = IndexBuilder(eng)
+    eng.register(two_key_relation("a1", 25))
+    eng.register(two_key_relation("a2", 25))
+    eng.register(two_key_relation("b1", 25, start=9000))
+    assert index.components() == (
+        frozenset({"a1", "a2"}), frozenset({"b1"}),
+    )
+    assert index.reachable(["a1", "a2"])
+    assert not index.reachable(["a1", "b1"])
+    assert not index.reachable(["a1", "ghost"])
+    assert index.component_of("ghost") is None
+    # a bridge dataset spanning both key ranges merges the components
+    bridge = Relation(
+        "bridge",
+        [Column("order_key", "int"), Column("batch_code", "str")],
+        [(k, f"b{k}") for k in list(range(12)) + list(range(9000, 9012))],
+    )
+    eng.register(bridge)
+    assert len(index.components()) == 1
+    assert index.reachable(["a1", "b1"])
+    eng.remove("bridge")
+    assert index.components() == (
+        frozenset({"a1", "a2"}), frozenset({"b1"}),
+    )
 
 
 # -- metadata deltas, removal, unsubscribe -----------------------------------

@@ -84,6 +84,47 @@ def test_plan_dictionary_transform_fails_on_unknown_value(datasets):
         plan.execute(resolver_of(datasets))
 
 
+def test_plan_multi_column_join_step():
+    """Composite-key JoinStep: extra_on pairs all constrain the join."""
+    left = Relation(
+        "left",
+        [Column("k1", "int"), Column("k2", "str"), Column("v", "float")],
+        [(1, "a", 1.0), (1, "b", 2.0), (2, "a", 3.0)],
+    )
+    right = Relation(
+        "right",
+        [Column("k1", "int"), Column("k2", "str"), Column("w", "str")],
+        [(1, "a", "x"), (1, "b", "y"), (2, "b", "z")],
+    )
+    data = {"left": left, "right": right}
+    step = JoinStep(
+        "right", "left__k1", "right__k1", 0.8,
+        extra_on=(("left__k2", "right__k2"),),
+    )
+    assert step.pairs == (
+        ("left__k1", "right__k1"), ("left__k2", "right__k2"),
+    )
+    plan = MashupPlan(
+        base="left",
+        joins=[step],
+        output={"v": "left__v", "w": "right__w"},
+    )
+    out = plan.execute(resolver_of(data))
+    # only (1,a) and (1,b) match on BOTH keys; (2,a)/(2,b) do not
+    assert sorted(zip(out.column("v"), out.column("w"))) == [
+        (1.0, "x"), (2.0, "y"),
+    ]
+    assert "left__k1 = right__k1 and left__k2 = right__k2" in step.describe()
+    bad = MashupPlan(
+        base="left",
+        joins=[JoinStep("right", "left__k1", "right__k1",
+                        extra_on=(("left__ghost", "right__k2"),))],
+        output={"v": "left__v"},
+    )
+    with pytest.raises(IntegrationError, match="ghost"):
+        bad.execute(resolver_of(data))
+
+
 def test_plan_inconsistent_join_column(datasets):
     plan = MashupPlan(
         base="orders",

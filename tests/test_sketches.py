@@ -150,3 +150,114 @@ def test_categorical_summary():
 def test_categorical_summary_empty():
     s = CategoricalSummary.of([])
     assert s.count == 0 and s.null_fraction == 0.0
+
+
+# -- fuzz-style edge cases: incremental LSH maintenance + degenerate columns --
+
+
+def test_minhash_empty_column():
+    empty = MinHash.of([], num_perm=32)
+    assert empty.count == 0
+    assert empty.jaccard(MinHash.of([], num_perm=32)) == 1.0
+    assert empty.jaccard(MinHash.of([1], num_perm=32)) == 0.0
+    empty.update_many([])  # a no-op, not an error
+    assert empty.count == 0
+
+
+def test_minhash_single_value_and_all_duplicates():
+    single = MinHash.of(["x"], num_perm=64)
+    dups = MinHash(num_perm=64)
+    dups.update_many(["x"] * 50)  # all-duplicate column
+    assert dups.count == 50  # counts updates, not distinct values
+    assert single.jaccard(dups) == 1.0
+    assert single.jaccard(MinHash.of(["y"], num_perm=64)) == 0.0
+
+
+def test_lsh_indexes_degenerate_signatures():
+    """Empty/single-value signatures are legal index entries: empties
+    collide only with empties, and removal prunes their buckets."""
+    idx = LSHIndex(num_perm=16, bands=16)
+    empty_a, empty_b = MinHash(num_perm=16), MinHash(num_perm=16)
+    single = MinHash.of(["only"], num_perm=16)
+    idx.add("empty_a", empty_a)
+    idx.add("empty_b", empty_b)
+    idx.add("single", single)
+    assert idx.candidates(empty_a) == {"empty_a", "empty_b"}
+    assert "single" not in idx.candidates(empty_a)
+    idx.remove("empty_b")
+    assert idx.candidates(empty_a) == {"empty_a"}
+    idx.remove("empty_a")
+    idx.remove("single")
+    assert len(idx) == 0 and idx.candidates(single) == set()
+
+
+def test_lsh_remove_unknown_key_is_an_error():
+    idx = LSHIndex(num_perm=16, bands=4)
+    with pytest.raises(KeyError):
+        idx.remove("ghost")
+    idx.add("x", MinHash.of([1], num_perm=16))
+    idx.remove("x")
+    with pytest.raises(KeyError):
+        idx.remove("x")  # double-remove
+
+
+def test_lsh_candidates_width_check():
+    idx = LSHIndex(num_perm=32, bands=8)
+    with pytest.raises(ValueError):
+        idx.candidates(MinHash.of([1], num_perm=16))
+
+
+def _naive_collisions(sigs: dict, query: MinHash, bands: int, rows: int):
+    """Reference banding: any exactly matching band is a collision."""
+    out = set()
+    for key, sig in sigs.items():
+        for band in range(bands):
+            lo = band * rows
+            if tuple(sig.signature[lo:lo + rows]) == tuple(
+                query.signature[lo:lo + rows]
+            ):
+                out.add(key)
+                break
+    return out
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from("abcdefgh"), st.booleans()),
+        max_size=40,
+    ),
+    query_key=st.sampled_from("abcdefgh"),
+    bands=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_lsh_lifecycle_fuzz_matches_naive_reference(ops, query_key, bands):
+    """Random add/remove churn: the banded index stays exactly equivalent
+    to a naive mirror for candidates(), membership and key sets."""
+    sigs = {
+        k: MinHash.of(range(i * 6, i * 6 + 18), num_perm=16)
+        for i, k in enumerate("abcdefgh")
+    }
+    sigs["h"] = MinHash(num_perm=16)  # one empty signature in the pool
+    idx = LSHIndex(num_perm=16, bands=bands)
+    mirror: dict = {}
+    for key, add in ops:
+        if add:
+            if key in mirror:
+                with pytest.raises(KeyError):
+                    idx.add(key, sigs[key])
+            else:
+                idx.add(key, sigs[key])
+                mirror[key] = sigs[key]
+        else:
+            if key in mirror:
+                idx.remove(key)
+                del mirror[key]
+            else:
+                with pytest.raises(KeyError):
+                    idx.remove(key)
+    assert set(idx.keys()) == set(mirror)
+    assert len(idx) == len(mirror)
+    query = sigs[query_key]
+    assert idx.candidates(query) == _naive_collisions(
+        mirror, query, bands, 16 // bands
+    )
