@@ -21,7 +21,7 @@ import time
 import pytest
 
 from repro.datagen import CorpusSpec, generate_corpus
-from repro.discovery import IndexBuilder, MetadataEngine
+from repro.discovery import DiscoveryEngine, IndexBuilder, MetadataEngine
 from repro.integration import DoDEngine, MashupRequest
 
 SIZES = (5, 10, 20, 40)
@@ -89,7 +89,7 @@ def sweep():
         t0 = time.perf_counter()
         index.refresh()
         t_index = time.perf_counter() - t0
-        dod = DoDEngine(engine, index)
+        dod = DoDEngine(engine, index, DiscoveryEngine(engine, index))
         t0 = time.perf_counter()
         mashups = dod.build_mashups(
             MashupRequest(attributes=["num_0", "num_1"], key="entity_id")

@@ -9,7 +9,7 @@ exactly where its data went.
 Run:  python examples/internal_market.py
 """
 
-from repro import Arbiter, BuyerPlatform, SellerPlatform, internal_market
+from repro import BuyerPlatform, DataMarket, SellerPlatform, internal_market
 from repro.datagen import CorpusSpec, generate_corpus
 
 
@@ -28,27 +28,27 @@ def main() -> None:
         seed=11,
     ))
 
-    arbiter = Arbiter(internal_market(grant=100.0))
+    market = DataMarket(internal_market(grant=100.0))
     teams = {}
     for i, dataset in enumerate(corpus.datasets):
         team = SellerPlatform(f"team_{i}")
         team.package(dataset)
-        team.share_all(arbiter)
+        team.share_all(market)
         teams[team.seller_id] = team
 
-    print(f"datasets shared: {arbiter.builder.datasets}")
+    print(f"datasets shared: {market.datasets}")
 
     # the analytics team needs attributes scattered across silos
     analytics = BuyerPlatform("analytics")
-    arbiter.register_participant("analytics")
-    arbiter.attach_buyer_platform(analytics)
+    market.register_participant("analytics")
+    market.attach_buyer_platform(analytics)
     wtp = analytics.completeness_wtp(
         wanted_keys=list(range(200)),
         attributes=["num_0", "num_1", "cat_0"],
         price_steps=[(0.5, 10.0)],
     )
-    analytics.submit(arbiter, wtp)
-    result = arbiter.run_round()
+    analytics.submit(market, wtp)
+    result = market.run_round()
 
     print(f"\ntransactions: {result.transactions}")
     for delivery in result.deliveries:
@@ -59,17 +59,17 @@ def main() -> None:
     print("\nbonus points earned by sharing teams:")
     grant = internal_market().participation_grant
     for team_id in sorted(teams):
-        earned = arbiter.ledger.balance(team_id) - grant
+        earned = market.ledger.balance(team_id) - grant
         if earned > 0:
             print(f"  {team_id}: +{earned:.1f} points")
 
     print("\naccountability: where did team data go?")
     for team_id, team in sorted(teams.items()):
-        sales = team.my_sales(arbiter)
+        sales = team.my_sales(market)
         sold = {ds: rev for ds, rev in sales.items()
-                if arbiter.lineage.sales_of(ds)}
+                if market.lineage.sales_of(ds)}
         for ds in sold:
-            for record in arbiter.lineage.sales_of(ds):
+            for record in market.lineage.sales_of(ds):
                 print(f"  {ds} -> buyer {record.buyer} "
                       f"(mashup of {list(record.mashup_sources)})")
 

@@ -13,7 +13,7 @@ the accuracy gate is met.
 Run:  python examples/intro_scenario.py
 """
 
-from repro import Arbiter, BuyerPlatform, exclusive_auction_market
+from repro import BuyerPlatform, DataMarket, exclusive_auction_market
 from repro.datagen import intro_scenario
 from repro.relation import Column, Relation
 from repro.simulator import OpportunisticSeller
@@ -26,13 +26,13 @@ def main() -> None:
 
     # Vickrey with a reserve: a lone bidder pays the reserve, so sellers
     # earn even without competition (the arbiter's price floor)
-    arbiter = Arbiter(exclusive_auction_market(k=1, reserve=10.0))
-    arbiter.accept_dataset(s1, seller="seller_1")
-    arbiter.accept_dataset(s2, seller="seller_2")
+    market = DataMarket(exclusive_auction_market(k=1, reserve=10.0))
+    market.register_dataset(s1, seller="seller_1")
+    market.register_dataset(s2, seller="seller_2")
 
     buyer = BuyerPlatform("b1")
-    arbiter.register_participant("b1", funding=1000.0)
-    arbiter.attach_buyer_platform(buyer)
+    market.register_participant("b1", funding=1000.0)
+    market.attach_buyer_platform(buyer)
 
     # query-by-example rows: b1 knows d for a handful of entities, which
     # lets the arbiter synthesize f' (the inverse of f(d) = 1.8 d + 32)
@@ -50,8 +50,8 @@ def main() -> None:
         price_steps=[(0.80, 100.0), (0.90, 150.0)],
         examples=examples,
     )
-    buyer.submit(arbiter, wtp)
-    result = arbiter.run_round()
+    buyer.submit(market, wtp)
+    result = market.run_round()
 
     print("=== round 1: a, b, d served; e is missing ===")
     for delivery in result.deliveries:
@@ -62,7 +62,7 @@ def main() -> None:
         print(f"missing attributes: {list(delivery.mashup.missing)}")
 
     print("\nopen negotiation requests:")
-    for request in arbiter.negotiation.open_requests():
+    for request in market.negotiation.open_requests():
         print(f"  [{request.request_id}] {request.description} "
               f"(bounty {request.bounty:.1f})")
 
@@ -79,13 +79,13 @@ def main() -> None:
     seller_3 = OpportunisticSeller(
         "seller_3", {"e": collect_e}, collection_cost=0.5
     )
-    collected = seller_3.scan_and_collect(arbiter)
+    collected = seller_3.scan_and_collect(market)
     print(f"\nSeller 3 collected: "
           f"{[(r.attribute, r.dataset) for r in collected]}")
 
     # --- round 2: the full feature set is now available -------------------
-    buyer.submit(arbiter, wtp)
-    result2 = arbiter.run_round()
+    buyer.submit(market, wtp)
+    result2 = market.run_round()
     print("\n=== round 2: with e collected ===")
     for delivery in result2.deliveries:
         print(f"satisfaction {delivery.satisfaction:.3f}, "
@@ -95,8 +95,8 @@ def main() -> None:
         for dataset, share in sorted(delivery.split.dataset_shares.items()):
             print(f"  {dataset}: {share:.2f}")
 
-    print(f"\nSeller 3 earnings so far: {seller_3.earnings(arbiter):.2f}")
-    print(f"audit verifies: {arbiter.audit.verify()}")
+    print(f"\nSeller 3 earnings so far: {seller_3.earnings(market):.2f}")
+    print(f"audit verifies: {market.audit.verify()}")
 
 
 if __name__ == "__main__":

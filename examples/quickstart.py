@@ -1,13 +1,16 @@
-"""Quickstart: a complete external data market in ~60 lines.
+"""Quickstart: a complete external data market through the DataMarket façade.
 
 Two sellers share feature datasets, a buyer ships a classification task in
 a WTP function ("$100 for >= 75% accuracy, $150 for >= 85%"), and the
-arbiter assembles the mashup, clears the price, and splits the revenue.
+platform assembles the mashup, clears the price, and splits the revenue —
+all through one typed API: register_dataset / search / plan / submit_wtp /
+run_round, each returning a frozen result stamped with the graph version
+(`as_of`) it was computed against.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Arbiter, BuyerPlatform, SellerPlatform, external_market
+from repro import BuyerPlatform, DataMarket, external_market
 from repro.datagen import make_classification_world
 
 
@@ -20,16 +23,24 @@ def main() -> None:
         seed=42,
     )
 
-    # --- market setup ----------------------------------------------------
-    arbiter = Arbiter(external_market(commission=0.1))
+    # --- one platform object owns the whole stack ------------------------
+    market = DataMarket(external_market(commission=0.1))
 
-    alice = SellerPlatform("alice")
-    alice.package(world.datasets[0], reserve_price=1.0)
-    alice.share_all(arbiter)
+    for seller, dataset in zip(("alice", "bob"), world.datasets):
+        receipt = market.register_dataset(
+            dataset, seller=seller, reserve_price=1.0
+        )
+        print(f"registered {receipt.dataset!r} v{receipt.version} "
+              f"for {receipt.seller} (as_of graph v{receipt.as_of})")
 
-    bob = SellerPlatform("bob")
-    bob.package(world.datasets[1], reserve_price=1.0)
-    bob.share_all(arbiter)
+    # --- discovery and planning are first-class reads ---------------------
+    hits = market.search(["f0", "f1", "f3"])
+    print(f"\nsearch: {hits.datasets} (as_of {hits.as_of})")
+    plan = market.plan(["f0", "f1", "f3"], key="entity_id")
+    print(f"best plan ({len(plan)} candidates, cached={plan.cached}):")
+    print("  " + plan.best.plan.describe().replace("\n", "\n  "))
+    # an identical repeat request is served from the plan cache
+    assert market.plan(["f0", "f1", "f3"], key="entity_id").cached
 
     # --- three competing buyers with different price curves ---------------
     # (RSOP prices each half of the market from the other half, so revenue
@@ -42,9 +53,9 @@ def main() -> None:
     ]
     for i, steps in enumerate(curves):
         buyer = BuyerPlatform(f"b{i}")
-        arbiter.register_participant(f"b{i}", funding=500.0)
-        arbiter.attach_buyer_platform(buyer)
-        buyer.submit(arbiter, buyer.classification_wtp(
+        market.register_participant(f"b{i}", funding=500.0)
+        market.attach_buyer_platform(buyer)
+        market.submit_wtp(buyer.classification_wtp(
             labels=world.label_relation,
             features=["f0", "f1", "f3"],
             price_steps=steps,
@@ -52,14 +63,12 @@ def main() -> None:
         buyers.append(buyer)
 
     # --- one market round -------------------------------------------------
-    result = arbiter.run_round()
-    print("=== round result ===")
-    print(f"transactions: {result.transactions}")
-    for delivery in result.deliveries:
+    report = market.run_round()
+    print(f"\n=== round {report.round_index} result ===")
+    print(f"transactions: {report.transactions}")
+    for delivery in report.deliveries:
         print(f"buyer {delivery.buyer} paid {delivery.price_paid:.2f} "
               f"for satisfaction {delivery.satisfaction:.3f}")
-        print("mashup plan:")
-        print("  " + delivery.mashup.plan.describe().replace("\n", "\n  "))
         print("revenue split:")
         print(f"  arbiter fee: {delivery.split.arbiter_fee:.2f}")
         for dataset, share in sorted(delivery.split.dataset_shares.items()):
@@ -71,9 +80,9 @@ def main() -> None:
         print(winners[0].latest.relation.head(5).pretty())
 
     print("\n=== ledger ===")
-    for account in arbiter.ledger.accounts:
-        print(f"  {account}: {arbiter.ledger.balance(account):.2f}")
-    print(f"audit log verifies: {arbiter.audit.verify()}")
+    for account in market.ledger.accounts:
+        print(f"  {account}: {market.ledger.balance(account):.2f}")
+    print(f"audit log verifies: {market.audit.verify()}")
 
 
 if __name__ == "__main__":

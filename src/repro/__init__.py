@@ -4,6 +4,8 @@ Problems", PVLDB 13(11), 2020).
 
 The package implements the paper's full stack:
 
+* :mod:`repro.platform` - the unified :class:`DataMarket` façade (Fig. 1's
+  single DMMS) with its typed request/result API and graph-version plan cache
 * :mod:`repro.relation` - provenance-carrying relational substrate
 * :mod:`repro.discovery` / :mod:`repro.integration` / :mod:`repro.fusion` /
   :mod:`repro.mashup` - the Mashup Builder (Fig. 3)
@@ -11,26 +13,25 @@ The package implements the paper's full stack:
 * :mod:`repro.privacy` - statistical privacy for the seller platform
 * :mod:`repro.valuation` / :mod:`repro.pricing` /
   :mod:`repro.mechanisms` - the market design toolbox (Fig. 1, box 2)
-* :mod:`repro.market` - the DMMS: arbiter, seller, buyer platforms (Fig. 2)
+* :mod:`repro.market` - the internal DMMS layer: arbiter, seller, buyer
+  platforms (Fig. 2)
 * :mod:`repro.simulator` - the market simulator (Fig. 1, box 3)
 
-Quickstart::
+Quickstart — everything flows through one :class:`DataMarket` façade::
 
-    from repro import Arbiter, BuyerPlatform, SellerPlatform, external_market
+    from repro import BuyerPlatform, DataMarket, external_market
 
-    arbiter = Arbiter(external_market())
-    seller = SellerPlatform("acme")
-    seller.package(my_relation, reserve_price=5.0)
-    seller.share_all(arbiter)
+    market = DataMarket(external_market())
+    market.register_dataset(my_relation, seller="acme", reserve_price=5.0)
 
     buyer = BuyerPlatform("b1")
-    arbiter.register_participant("b1", funding=200.0)
-    arbiter.attach_buyer_platform(buyer)
-    buyer.submit(arbiter, buyer.classification_wtp(
+    market.register_participant("b1", funding=200.0)
+    market.attach_buyer_platform(buyer)
+    market.submit_wtp(buyer.classification_wtp(
         labels=my_labels, features=["a", "b"],
         price_steps=[(0.8, 100.0), (0.9, 150.0)],
     ))
-    result = arbiter.run_round()
+    report = market.run_round()      # RoundReport, stamped with `as_of`
 """
 
 from .market import (
@@ -45,12 +46,28 @@ from .market import (
     internal_market,
 )
 from .mashup import MashupBuilder
+from .platform import (
+    DataMarket,
+    PlanResult,
+    RegisterResult,
+    RetireResult,
+    RoundReport,
+    SearchResult,
+    WTPReceipt,
+)
 from .relation import Column, Relation, Schema
 from .wtp import IntrinsicRequirements, PriceCurve, WTPFunction
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "DataMarket",
+    "RegisterResult",
+    "RetireResult",
+    "SearchResult",
+    "PlanResult",
+    "WTPReceipt",
+    "RoundReport",
     "Arbiter",
     "SellerPlatform",
     "BuyerPlatform",

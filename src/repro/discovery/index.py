@@ -472,6 +472,18 @@ class IndexBuilder:
         self._ensure_fresh()
         return self._graph
 
+    @property
+    def graph_version(self) -> int:
+        """Monotonic counter bumped on every relationship-graph mutation.
+
+        This is the platform's read-snapshot token: plan caches key on it,
+        and every :mod:`repro.platform` result is stamped with the version
+        (``as_of``) it was computed against.  Accessing it forces a pending
+        lazy rebuild first, so equal versions imply equal derived state.
+        """
+        self._ensure_fresh()
+        return self._graph_version
+
     def join_path(self, source: str, target: str) -> list[JoinPredicate]:
         """Cheapest join path between two datasets (weight = 1 - score; for
         parallel edges networkx takes the cheapest, i.e. the best-scored

@@ -77,8 +77,41 @@ class MarketDesignError(MarketError):
     """A market design is inconsistent or impractical."""
 
 
+class InvalidRequestError(MarketError):
+    """A platform request carried arguments the market cannot act on
+    (empty attribute list, negative reserve price, negative funding...)."""
+
+
+class UnknownParticipantError(MarketError):
+    """An operation referenced a participant the ledger does not know."""
+
+
+class DuplicateParticipantError(MarketError):
+    """A participant name was registered twice."""
+
+
+class DatasetNotFoundError(MarketError):
+    """An operation referenced a dataset the platform does not hold."""
+
+
+class DuplicateDatasetError(MarketError):
+    """``register_dataset`` was called for a name that is already live
+    (use ``update_dataset`` to refresh an existing registration)."""
+
+
+class DatasetOwnershipError(MarketError):
+    """A seller tried to register or update a dataset name held by a
+    different seller."""
+
+
 class LicensingError(MarketError):
     """A data transfer violates the license attached to a dataset."""
+
+
+class LicenseDowngradeError(LicensingError):
+    """A dataset update tried to silently strip rights already granted to
+    existing licensees (e.g. revoking resale, shrinking exclusivity slots
+    below the current holder count, or retrofitting a full transfer)."""
 
 
 class LedgerError(MarketError):
@@ -99,3 +132,13 @@ class NegotiationError(MarketError):
 
 class SimulationError(ReproError):
     """The market simulator was configured inconsistently."""
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Warning category for deprecated library surface (manual engine
+    wiring superseded by :class:`repro.platform.DataMarket`).
+
+    A dedicated subclass lets the test suite escalate *our* deprecations to
+    errors (``filterwarnings = error::repro.errors.ReproDeprecationWarning``)
+    without tripping over third-party DeprecationWarnings.
+    """

@@ -1,6 +1,12 @@
 """Integration: DoD engine, mapping-function synthesis, prep transforms."""
 
-from .dod import DoDEngine, MashupRequest, PlannerStats, TransformHint
+from .dod import (
+    DoDEngine,
+    MashupRequest,
+    PlanCacheStats,
+    PlannerStats,
+    TransformHint,
+)
 from .plan import JoinStep, Mashup, MashupPlan, TransformStep, qualified
 from .synthesis import (
     KNOWN_CONVERSIONS,
@@ -17,6 +23,7 @@ from .transforms import downsample_mean, interpolate_to_grid, pivot
 __all__ = [
     "DoDEngine",
     "MashupRequest",
+    "PlanCacheStats",
     "PlannerStats",
     "TransformHint",
     "Mashup",

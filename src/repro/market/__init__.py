@@ -41,7 +41,7 @@ from .revenue import (
     row_allocation,
     shapley_shares,
 )
-from .seller import SellerOffer, SellerPlatform
+from .seller import SellerOffer, SellerPlatform, share_dataset
 from .trusts import DataTrust, MemberContribution, TrustError
 from .services import Recommendation, RecommendationService
 from .transaction import Ledger, Transfer
@@ -60,6 +60,7 @@ __all__ = [
     "exclusive_auction_market",
     "SellerPlatform",
     "SellerOffer",
+    "share_dataset",
     "BuyerPlatform",
     "DeliveredMashup",
     "Ledger",

@@ -36,7 +36,16 @@ from typing import NamedTuple
 
 import numpy as np
 
-from ..errors import DiscoveryError, LicensingError, MarketError
+from ..errors import (
+    DatasetNotFoundError,
+    DatasetOwnershipError,
+    DiscoveryError,
+    DuplicateParticipantError,
+    InvalidRequestError,
+    LicensingError,
+    MarketError,
+    UnknownParticipantError,
+)
 from ..integration import Mashup, MashupRequest
 from ..mashup import MashupBuilder
 from ..mechanisms import Bid, ExPostReport
@@ -146,7 +155,11 @@ class Arbiter:
     def register_participant(self, name: str, funding: float = 0.0) -> None:
         """Open a ledger account (+ grant + optional funding)."""
         if name in self.ledger:
-            raise MarketError(f"participant {name!r} already registered")
+            raise DuplicateParticipantError(
+                f"participant {name!r} already registered"
+            )
+        if funding < 0:
+            raise InvalidRequestError("funding must be non-negative")
         self.ledger.open_account(name)
         grant = self.design.participation_grant
         if grant > 0:
@@ -172,24 +185,34 @@ class Arbiter:
         """Fig. 2's seller→arbiter dataset flow.
 
         Re-accepting a name the same seller already holds is an *update*
-        (new version + refreshed license/reserve); a name held by a
-        different seller is rejected before any state moves.
+        (new version + refreshed reserve, with granted licensees preserved,
+        an omitted ``license``/``policy`` keeping the current one, and
+        silent license downgrades rejected); a name held by a different
+        seller, or an update stripping licensees' rights, is rejected
+        before any state moves.
         """
         if seller not in self.ledger:
             self.register_participant(seller)
         if reserve_price < 0:
-            raise MarketError("reserve price must be non-negative")
+            raise InvalidRequestError("reserve price must be non-negative")
         if relation.name in self.licenses:
             if self.licenses.owner_of(relation.name) != seller:
-                raise MarketError(
+                raise DatasetOwnershipError(
                     f"dataset {relation.name!r} is already registered to "
                     f"{self.licenses.owner_of(relation.name)!r}"
                 )
-            self.licenses.deregister(relation.name)
-        self.builder.add_dataset(relation, owner=seller)
-        self.licenses.register(
-            relation.name, owner=seller, license=license, policy=policy
-        )
+            # license continuity: granted licensees survive the update (an
+            # EXCLUSIVE dataset must not regain free slots), and a
+            # rights-stripping downgrade aborts before discovery state moves
+            self.licenses.update(
+                relation.name, owner=seller, license=license, policy=policy
+            )
+            self.builder.add_dataset(relation, owner=seller)
+        else:
+            self.builder.add_dataset(relation, owner=seller)
+            self.licenses.register(
+                relation.name, owner=seller, license=license, policy=policy
+            )
         self._reserves[relation.name] = reserve_price
         self.audit.append(
             "dataset_accepted",
@@ -210,7 +233,7 @@ class Arbiter:
         try:
             self.builder.remove_dataset(dataset)
         except DiscoveryError as exc:
-            raise MarketError(str(exc)) from None
+            raise DatasetNotFoundError(str(exc)) from None
         if dataset in self.licenses:
             self.licenses.deregister(dataset)
         self._reserves.pop(dataset, None)
@@ -218,7 +241,7 @@ class Arbiter:
 
     def submit_wtp(self, wtp: WTPFunction) -> None:
         if wtp.buyer not in self.ledger:
-            raise MarketError(
+            raise UnknownParticipantError(
                 f"buyer {wtp.buyer!r} is not registered; "
                 "call register_participant first"
             )
@@ -236,6 +259,11 @@ class Arbiter:
             {"buyer": wtp.buyer, "attributes": wtp.attributes,
              "elicitation": wtp.elicitation},
         )
+
+    @property
+    def pending_wtps(self) -> int:
+        """WTP functions queued for the next round."""
+        return len(self._pending_wtps)
 
     # ------------------------------------------------------------------
     # the round

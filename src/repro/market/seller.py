@@ -29,6 +29,44 @@ class SellerOffer:
     policy: ContextualIntegrityPolicy | None = None
 
 
+def share_dataset(
+    market,
+    relation: Relation,
+    seller: str,
+    reserve_price: float = 0.0,
+    license: License | None = None,
+    policy: ContextualIntegrityPolicy | None = None,
+) -> None:
+    """Register ``relation`` with a market, whichever API it speaks.
+
+    Prefers the :class:`~repro.platform.DataMarket` façade's typed
+    register/update split; falls back to a bare arbiter's
+    ``accept_dataset``.  The single dispatch point for every seller-side
+    helper (seller platforms, opportunistic sellers, arbitrageurs).
+    """
+    if hasattr(market, "register_dataset"):
+        op = (
+            market.update_dataset
+            if relation.name in market.licenses
+            else market.register_dataset
+        )
+        op(
+            relation,
+            seller,
+            reserve_price=reserve_price,
+            license=license,
+            policy=policy,
+        )
+    else:
+        market.accept_dataset(
+            relation,
+            seller=seller,
+            reserve_price=reserve_price,
+            license=license,
+            policy=policy,
+        )
+
+
 class SellerPlatform:
     """One seller's local tooling; talks to an arbiter to share data."""
 
@@ -113,12 +151,17 @@ class SellerPlatform:
         return offer
 
     # -- market interaction -----------------------------------------------------
-    def share_all(self, arbiter) -> None:
-        """Register every packaged offer with the arbiter."""
+    def share_all(self, market) -> None:
+        """Register every packaged offer with the market.
+
+        Accepts the :class:`~repro.platform.DataMarket` façade (preferring
+        its typed register/update operations) or a bare arbiter.
+        """
         for offer in self.offers:
-            arbiter.accept_dataset(
+            share_dataset(
+                market,
                 offer.relation,
-                seller=self.seller_id,
+                self.seller_id,
                 reserve_price=offer.reserve_price,
                 license=offer.license,
                 policy=offer.policy,

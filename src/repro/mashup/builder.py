@@ -12,9 +12,11 @@ of Section 7.1.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..discovery import DiscoveryEngine, IndexBuilder, MetadataEngine
+from ..errors import ReproDeprecationWarning
 from ..fusion import auto_signals, fuse
 from ..integration import DoDEngine, MashupRequest, TransformHint
 from ..relation import Relation
@@ -36,7 +38,7 @@ class MashupBuilder:
     def __init__(
         self, num_perm: int = 64, min_overlap: float = 0.5,
         incremental: bool = True, exhaustive: bool = False,
-        beam_width: int | None = None,
+        beam_width: int | None = None, plan_cache: bool = True,
     ):
         self.metadata = MetadataEngine(num_perm=num_perm)
         self.index = IndexBuilder(
@@ -46,6 +48,7 @@ class MashupBuilder:
         self.dod = DoDEngine(
             self.metadata, self.index, self.discovery,
             exhaustive=exhaustive, beam_width=beam_width,
+            plan_cache=plan_cache,
         )
         self._gap_demand: dict[str, int] = {}
         self._hints: list[TransformHint] = []
@@ -58,6 +61,13 @@ class MashupBuilder:
         self.metadata.register(relation, owner=owner, credentials=credentials)
 
     def add_datasets(self, relations, owner: str = "unknown") -> None:
+        warnings.warn(
+            "MashupBuilder.add_datasets is deprecated: register datasets "
+            "through repro.platform.DataMarket.register_dataset (or call "
+            "add_dataset per relation)",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
         for r in relations:
             self.add_dataset(r, owner=owner)
 

@@ -1,0 +1,25 @@
+"""The unified data-market platform façade (Fig. 1's single DMMS).
+
+:class:`DataMarket` wires the whole stack behind one typed API; the result
+dataclasses stamp every read with the graph version it was computed against.
+"""
+
+from .market import DataMarket
+from .results import (
+    PlanResult,
+    RegisterResult,
+    RetireResult,
+    RoundReport,
+    SearchResult,
+    WTPReceipt,
+)
+
+__all__ = [
+    "DataMarket",
+    "RegisterResult",
+    "RetireResult",
+    "SearchResult",
+    "PlanResult",
+    "WTPReceipt",
+    "RoundReport",
+]

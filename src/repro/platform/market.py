@@ -1,0 +1,346 @@
+"""The unified platform façade: one object, one API, the whole DMMS.
+
+The paper's market platform (Fig. 1–2) is *one* system mediating sellers,
+buyers and the arbiter.  :class:`DataMarket` owns and wires the entire
+stack — metadata engine, index builder, discovery, DoD planner, mashup
+builder, arbiter — and exposes a small set of typed operations:
+
+======================  =====================================================
+``register_dataset``    seller shares a new dataset  → :class:`RegisterResult`
+``update_dataset``      seller refreshes a live one  → :class:`RegisterResult`
+``retire_dataset``      seller withdraws             → :class:`RetireResult`
+``search``              rank datasets by attributes  → :class:`SearchResult`
+``plan``                build ranked mashups         → :class:`PlanResult`
+``submit_wtp``          buyer queues an offer        → :class:`WTPReceipt`
+``run_round``           clear the market             → :class:`RoundReport`
+======================  =====================================================
+
+Every mutation flows through this one choke point, which is what makes the
+graph-version **plan cache** sound: ``plan`` requests are memoized against
+:attr:`graph_version`, any dataset delta bumps the version and invalidates
+the cache, and every read result is stamped with the version it was
+computed against (``as_of``).  Errors on this surface are structured
+:class:`~repro.errors.MarketError` subclasses, never bare ``ValueError``.
+
+The engine classes remain importable (they are the internal layer); the
+façade is the supported wiring::
+
+    from repro import DataMarket, external_market
+
+    market = DataMarket(external_market())
+    market.register_dataset(my_relation, seller="acme", reserve_price=5.0)
+    market.register_participant("b1", funding=200.0)
+    market.submit_wtp(my_wtp)
+    report = market.run_round()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import (
+    DatasetNotFoundError,
+    DuplicateDatasetError,
+    InvalidRequestError,
+)
+from ..integration.dod import MashupRequest, PlanCacheStats, PlannerStats
+from ..market.arbiter import Arbiter, Delivery
+from ..market.design import MarketDesign, external_market
+from ..market.licensing import ContextualIntegrityPolicy, License
+from ..mashup import MashupBuilder
+from ..relation import Relation
+from ..wtp import WTPFunction
+from .results import (
+    PlanResult,
+    RegisterResult,
+    RetireResult,
+    RoundReport,
+    SearchResult,
+    WTPReceipt,
+)
+
+
+def _normalized_attributes(attributes: Iterable[str]) -> tuple[str, ...]:
+    attrs = tuple(attributes)
+    if not attrs:
+        raise InvalidRequestError("at least one attribute is required")
+    for a in attrs:
+        if not isinstance(a, str) or not a:
+            raise InvalidRequestError(
+                f"attributes must be non-empty strings, got {a!r}"
+            )
+    return attrs
+
+
+class DataMarket:
+    """Facade over the full data-market stack, per deployed design.
+
+    Constructor knobs forward to the internal layer: ``num_perm`` /
+    ``min_overlap`` / ``incremental`` shape the discovery indexes,
+    ``exhaustive`` / ``beam_width`` select the DoD plan enumerator, and
+    ``plan_cache`` toggles the graph-version plan cache (on by default).
+    """
+
+    def __init__(
+        self,
+        design: MarketDesign | None = None,
+        *,
+        num_perm: int = 64,
+        min_overlap: float = 0.5,
+        incremental: bool = True,
+        exhaustive: bool = False,
+        beam_width: int | None = None,
+        plan_cache: bool = True,
+    ):
+        self.design = design if design is not None else external_market()
+        self.arbiter = Arbiter(
+            self.design,
+            builder=MashupBuilder(
+                num_perm=num_perm,
+                min_overlap=min_overlap,
+                incremental=incremental,
+                exhaustive=exhaustive,
+                beam_width=beam_width,
+                plan_cache=plan_cache,
+            ),
+        )
+        self._rounds = 0
+
+    # -- internal layer, exposed read-only for observability ---------------
+    @property
+    def builder(self) -> MashupBuilder:
+        return self.arbiter.builder
+
+    @property
+    def metadata(self):
+        return self.arbiter.builder.metadata
+
+    @property
+    def index(self):
+        return self.arbiter.builder.index
+
+    @property
+    def discovery(self):
+        return self.arbiter.builder.discovery
+
+    @property
+    def planner(self):
+        return self.arbiter.builder.dod
+
+    @property
+    def ledger(self):
+        return self.arbiter.ledger
+
+    @property
+    def licenses(self):
+        return self.arbiter.licenses
+
+    @property
+    def audit(self):
+        return self.arbiter.audit
+
+    @property
+    def lineage(self):
+        return self.arbiter.lineage
+
+    @property
+    def negotiation(self):
+        return self.arbiter.negotiation
+
+    @property
+    def recommendations(self):
+        return self.arbiter.recommendations
+
+    @property
+    def datasets(self) -> list[str]:
+        return self.arbiter.builder.datasets
+
+    @property
+    def graph_version(self) -> int:
+        """Current relationship-graph version (``as_of`` of fresh reads)."""
+        return self.arbiter.builder.index.graph_version
+
+    @property
+    def planner_stats(self) -> PlannerStats:
+        """Work counters of the most recent ``plan`` / round build."""
+        return self.arbiter.builder.dod.last_stats
+
+    @property
+    def plan_cache_stats(self) -> PlanCacheStats:
+        """Cumulative plan-cache hit/miss/invalidation counters."""
+        return self.arbiter.builder.dod.cache_stats
+
+    # -- participants ------------------------------------------------------
+    def register_participant(self, name: str, funding: float = 0.0) -> None:
+        """Open a ledger account for a buyer or seller."""
+        self.arbiter.register_participant(name, funding=funding)
+
+    def attach_buyer_platform(self, platform) -> None:
+        """Deliveries will be pushed to ``platform.receive``."""
+        self.arbiter.attach_buyer_platform(platform)
+
+    # -- dataset lifecycle -------------------------------------------------
+    def register_dataset(
+        self,
+        relation: Relation,
+        seller: str,
+        *,
+        reserve_price: float = 0.0,
+        license: License | None = None,
+        policy: ContextualIntegrityPolicy | None = None,
+    ) -> RegisterResult:
+        """Share a *new* dataset (a live name is a :class:`DuplicateDatasetError`;
+        use :meth:`update_dataset` to refresh one)."""
+        if relation.name in self.arbiter.licenses:
+            raise DuplicateDatasetError(
+                f"dataset {relation.name!r} is already live; "
+                "use update_dataset to refresh it"
+            )
+        return self._accept(
+            relation, seller, reserve_price, license, policy, created=True
+        )
+
+    def update_dataset(
+        self,
+        relation: Relation,
+        seller: str,
+        *,
+        reserve_price: float = 0.0,
+        license: License | None = None,
+        policy: ContextualIntegrityPolicy | None = None,
+    ) -> RegisterResult:
+        """Refresh a live dataset: new snapshot version, refreshed reserve,
+        granted licensees preserved, and an omitted ``license``/``policy``
+        keeping the current one.  Updating a name the platform does not
+        hold is a :class:`DatasetNotFoundError`; silent license downgrades
+        raise :class:`~repro.errors.LicenseDowngradeError`."""
+        if relation.name not in self.arbiter.licenses:
+            raise DatasetNotFoundError(
+                f"dataset {relation.name!r} is not registered; "
+                "use register_dataset first"
+            )
+        return self._accept(
+            relation, seller, reserve_price, license, policy, created=False
+        )
+
+    def _accept(
+        self, relation, seller, reserve_price, license, policy, created
+    ) -> RegisterResult:
+        self.arbiter.accept_dataset(
+            relation,
+            seller=seller,
+            reserve_price=reserve_price,
+            license=license,
+            policy=policy,
+        )
+        snapshot = self.metadata.snapshot(relation.name)
+        return RegisterResult(
+            dataset=relation.name,
+            seller=seller,
+            version=snapshot.version,
+            rows=len(relation),
+            reserve_price=reserve_price,
+            created=created,
+            as_of=self.graph_version,
+        )
+
+    def retire_dataset(self, dataset: str) -> RetireResult:
+        """Withdraw a dataset; discovery indexes prune it in place."""
+        if dataset not in self.arbiter.licenses:
+            raise DatasetNotFoundError(
+                f"dataset {dataset!r} is not registered"
+            )
+        seller = self.arbiter.licenses.owner_of(dataset)
+        self.arbiter.retire_dataset(dataset)
+        return RetireResult(
+            dataset=dataset, seller=seller, as_of=self.graph_version
+        )
+
+    # -- reads -------------------------------------------------------------
+    def search(
+        self, attributes: Iterable[str], *, min_score: float = 0.55
+    ) -> SearchResult:
+        """Rank registered datasets by coverage of the attribute list."""
+        attrs = _normalized_attributes(attributes)
+        hits = self.discovery.search_schema(list(attrs), min_score=min_score)
+        return SearchResult(
+            attributes=attrs, hits=tuple(hits), as_of=self.graph_version
+        )
+
+    def plan(
+        self,
+        attributes: Iterable[str],
+        *,
+        key: str | None = None,
+        examples: Relation | None = None,
+        max_results: int = 5,
+        min_match_score: float = 0.55,
+    ) -> PlanResult:
+        """Build ranked, materialized mashups for an attribute set.
+
+        Repeated identical requests at an unchanged :attr:`graph_version`
+        are served from the plan cache (``result.cached``); any dataset
+        delta invalidates it automatically.
+        """
+        attrs = _normalized_attributes(attributes)
+        if max_results < 1:
+            raise InvalidRequestError("max_results must be >= 1")
+        request = MashupRequest(
+            attributes=list(attrs),
+            key=key,
+            examples=examples,
+            max_results=max_results,
+            min_match_score=min_match_score,
+        )
+        mashups = self.arbiter.builder.build(request)
+        return PlanResult(
+            attributes=attrs,
+            key=key,
+            mashups=tuple(mashups),
+            cached=self.planner_stats.cache_hit,
+            as_of=self.graph_version,
+        )
+
+    # -- trading -----------------------------------------------------------
+    def submit_wtp(self, wtp: WTPFunction) -> WTPReceipt:
+        """Queue a buyer's WTP function for the next round."""
+        self.arbiter.submit_wtp(wtp)
+        return WTPReceipt(
+            buyer=wtp.buyer,
+            attributes=tuple(wtp.attributes),
+            elicitation=wtp.elicitation,
+            queued=self.arbiter.pending_wtps,
+            as_of=self.graph_version,
+        )
+
+    def run_round(self, context: str = "*") -> RoundReport:
+        """Clear all queued WTPs through the arbiter's full pipeline."""
+        result = self.arbiter.run_round(context=context)
+        self._rounds += 1
+        return RoundReport(
+            round_index=self._rounds,
+            deliveries=tuple(result.deliveries),
+            rejections=tuple(result.rejections),
+            expost_deliveries=tuple(result.expost_deliveries),
+            as_of=self.graph_version,
+        )
+
+    # -- ex-post settlement (passthrough; see Arbiter docs) ----------------
+    def receive_expost_report(
+        self, buyer: str, transaction_id: int, reported_value: float
+    ) -> None:
+        self.arbiter.receive_expost_report(
+            buyer, transaction_id, reported_value
+        )
+
+    def settle_expost(self, rng, true_values=None) -> list[Delivery]:
+        return self.arbiter.settle_expost(rng, true_values)
+
+    # -- simulator hook ----------------------------------------------------
+    @staticmethod
+    def simulate(*args, **kwargs):
+        """Run :func:`repro.simulator.simulate_market_deployment` (which
+        deploys the design on a façade exactly like this one)."""
+        from ..simulator import simulate_market_deployment
+
+        return simulate_market_deployment(*args, **kwargs)

@@ -1,0 +1,120 @@
+"""Typed, frozen result objects for the :class:`~repro.platform.DataMarket`
+façade.
+
+Every read result is stamped with ``as_of`` — the relationship graph
+version (:attr:`repro.discovery.IndexBuilder.graph_version`) it was computed
+against.  The version is bumped by every metadata delta, so two results with
+equal ``as_of`` were derived from identical discovery state; monotonically
+non-decreasing ``as_of`` values across a caller's reads are the first step
+toward snapshot-isolated readers.  Mutation results carry the version that
+became current *after* the mutation committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..discovery.search import DatasetHit
+from ..integration.plan import Mashup, MashupPlan
+from ..market.arbiter import Delivery, ExPostDelivery, Rejection
+
+
+@dataclass(frozen=True)
+class RegisterResult:
+    """Outcome of ``register_dataset`` / ``update_dataset``."""
+
+    dataset: str
+    seller: str
+    #: snapshot version in the metadata engine (1 for a first registration;
+    #: unchanged when an update carried identical content)
+    version: int
+    rows: int
+    reserve_price: float
+    #: True for a first registration, False for an update of a live name
+    created: bool
+    as_of: int
+
+
+@dataclass(frozen=True)
+class RetireResult:
+    """Outcome of ``retire_dataset``: the name is free again."""
+
+    dataset: str
+    seller: str
+    as_of: int
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Ranked dataset hits for a requested attribute set."""
+
+    attributes: tuple[str, ...]
+    hits: tuple[DatasetHit, ...]
+    as_of: int
+
+    @property
+    def datasets(self) -> tuple[str, ...]:
+        """Hit dataset names, best first."""
+        return tuple(h.dataset for h in self.hits)
+
+    @property
+    def best(self) -> DatasetHit | None:
+        return self.hits[0] if self.hits else None
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Ranked, materialized mashups for a requested attribute set."""
+
+    attributes: tuple[str, ...]
+    key: str | None
+    mashups: tuple[Mashup, ...]
+    #: True when the whole request was served from the graph-version plan
+    #: cache (identical output to an uncached run at the same ``as_of``)
+    cached: bool
+    as_of: int
+
+    @property
+    def best(self) -> Mashup | None:
+        return self.mashups[0] if self.mashups else None
+
+    @property
+    def plans(self) -> tuple[MashupPlan, ...]:
+        return tuple(m.plan for m in self.mashups)
+
+    def __len__(self) -> int:
+        return len(self.mashups)
+
+
+@dataclass(frozen=True)
+class WTPReceipt:
+    """Acknowledgement that a WTP function is queued for the next round."""
+
+    buyer: str
+    attributes: tuple[str, ...]
+    elicitation: str
+    #: WTPs pending for the next round, this one included
+    queued: int
+    as_of: int
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """One cleared market round, as seen through the façade."""
+
+    round_index: int
+    deliveries: tuple[Delivery, ...]
+    rejections: tuple[Rejection, ...]
+    expost_deliveries: tuple[ExPostDelivery, ...]
+    as_of: int
+
+    @property
+    def revenue(self) -> float:
+        return sum(d.price_paid for d in self.deliveries)
+
+    @property
+    def transactions(self) -> int:
+        return len(self.deliveries)

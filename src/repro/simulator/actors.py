@@ -23,6 +23,7 @@ from typing import Callable, Mapping
 from ..errors import MarketError
 from ..market.arbiter import Arbiter
 from ..market.buyer import BuyerPlatform, DeliveredMashup
+from ..market.seller import share_dataset
 from ..relation import Relation
 from ..wtp import PriceCurve, QueryCompletenessTask, WTPFunction
 
@@ -70,7 +71,7 @@ class OpportunisticSeller:
                     f"catalog for {request.attribute!r} produced a dataset "
                     f"without that attribute"
                 )
-            arbiter.accept_dataset(dataset, seller=self.seller_id)
+            share_dataset(arbiter, dataset, self.seller_id)
             arbiter.negotiation.respond_with_dataset(
                 request.request_id, self.seller_id, dataset
             )
@@ -145,8 +146,8 @@ class Arbitrageur:
         if transform is not None:
             relation = transform(relation)
         relisted = relation.renamed(new_name).with_provenance_root(new_name)
-        arbiter.accept_dataset(
-            relisted, seller=self.actor_id, reserve_price=reserve_price
+        share_dataset(
+            arbiter, relisted, self.actor_id, reserve_price=reserve_price
         )
         self.listings.append(new_name)
         arbiter.audit.append(

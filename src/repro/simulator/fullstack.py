@@ -4,10 +4,10 @@ Section 6.1 asks for "a simulation platform where it is possible to
 implement different rules and change the behavior of players".  The
 mechanism-level simulator (:mod:`repro.simulator.engine`) isolates the
 allocation/payment rules; this module closes the loop by running strategy
-populations against a complete :class:`~repro.market.arbiter.Arbiter` —
+populations against a complete :class:`~repro.platform.DataMarket` façade —
 mashup building, WTP evaluation, licensing, ledger and all — so a market
 design is tested exactly as it would be deployed (Fig. 1: the same design
-object flows from simulation into production).
+object flows from simulation into production through the same typed API).
 
 Buyers draw a private per-round value for a data product and submit a
 completeness WTP whose price step is their *strategy-distorted* bid; the
@@ -21,9 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SimulationError
-from ..market.arbiter import Arbiter
 from ..market.design import MarketDesign
-from ..mashup import MashupBuilder
+from ..platform import DataMarket
 from ..relation import Relation
 from ..wtp import PriceCurve, QueryCompletenessTask, WTPFunction
 from .metrics import StrategyStats, gini
@@ -110,15 +109,15 @@ def simulate_market_deployment(
                 )
             active.add(ds.name)
     rng = np.random.default_rng(seed)
-    arbiter = Arbiter(
-        design, builder=MashupBuilder(exhaustive=(planner == "exhaustive"))
-    )
+    # the deployed platform is the same façade production callers use:
+    # every mutation below flows through DataMarket's typed operations
+    market = DataMarket(design, exhaustive=(planner == "exhaustive"))
     sellers: list[str] = []
 
     def _accept(dataset: Relation) -> None:
         seller = f"seller_{len(sellers)}"
         sellers.append(seller)
-        arbiter.accept_dataset(dataset, seller=seller)
+        market.register_dataset(dataset, seller=seller)
 
     for dataset in datasets:
         _accept(dataset)
@@ -126,7 +125,7 @@ def simulate_market_deployment(
     agents = build_population(n_buyers, strategy_mix, strategy_kwargs)
     funding = 0.0 if design.incentive != "money" else 1e7
     for agent in agents:
-        arbiter.register_participant(agent.name, funding=funding)
+        market.register_participant(agent.name, funding=funding)
 
     all_datasets = list(datasets) + [
         ds for round_datasets in arrivals.values() for ds in round_datasets
@@ -138,7 +137,7 @@ def simulate_market_deployment(
     transactions = rejections = 0
     for _round in range(n_rounds):
         for name in departures.get(_round, ()):
-            arbiter.retire_dataset(name)
+            market.retire_dataset(name)
         for dataset in arrivals.get(_round, ()):
             _accept(dataset)
         true_values = {a.name: value_sampler(rng) for a in agents}
@@ -146,7 +145,7 @@ def simulate_market_deployment(
             bid = agent.submit(true_values[agent.name], rng)
             if bid <= 0:
                 continue
-            arbiter.submit_wtp(
+            market.submit_wtp(
                 WTPFunction(
                     buyer=agent.name,
                     task=QueryCompletenessTask(
@@ -158,11 +157,11 @@ def simulate_market_deployment(
                     key=key,
                 )
             )
-        result = arbiter.run_round()
-        revenue += result.revenue
-        transactions += result.transactions
-        rejections += len(result.rejections)
-        winners = {d.buyer: d.price_paid for d in result.deliveries}
+        report = market.run_round()
+        revenue += report.revenue
+        transactions += report.transactions
+        rejections += len(report.rejections)
+        winners = {d.buyer: d.price_paid for d in report.deliveries}
         for agent in agents:
             won = agent.name in winners
             payment = winners.get(agent.name, 0.0)
@@ -178,7 +177,7 @@ def simulate_market_deployment(
         stats.wins += agent.wins
         stats.spent += agent.spent
     seller_balances = {
-        seller: arbiter.ledger.balance(seller) for seller in sellers
+        seller: market.ledger.balance(seller) for seller in sellers
     }
     return FullStackResult(
         rounds=n_rounds,

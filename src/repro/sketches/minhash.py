@@ -19,12 +19,29 @@ import numpy as np
 #: modulus for universal hashing; small enough that a*h+b fits in int64
 _PRIME = (1 << 31) - 1
 
+#: process-wide token-hash memo: corpora share vocabularies heavily, so the
+#: BLAKE2b digest of a token is computed once and reused across every column
+#: and dataset registered in this process.  Bounded so adversarially unique
+#: corpora cannot grow it without limit (entries are never evicted; once the
+#: cap is hit new tokens are hashed without being remembered).
+_TOKEN_CACHE: dict[str, int] = {}
+_TOKEN_CACHE_CAP = 1 << 20
+
+
+def _hash_token(token: str) -> int:
+    """BLAKE2b-derived hash of one canonical token string, memoized."""
+    h = _TOKEN_CACHE.get(token)
+    if h is None:
+        digest = hashlib.blake2b(token.encode(), digest_size=8).digest()
+        h = int.from_bytes(digest, "big") % _PRIME
+        if len(_TOKEN_CACHE) < _TOKEN_CACHE_CAP:
+            _TOKEN_CACHE[token] = h
+    return h
+
 
 def stable_hash(value: object) -> int:
     """Deterministic hash of a value's canonical string form, in [0, 2^31)."""
-    data = repr(value).encode()
-    h = int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
-    return h % _PRIME
+    return _hash_token(repr(value))
 
 
 class MinHash:
@@ -46,15 +63,22 @@ class MinHash:
         self.update_many([value])
 
     def update_many(self, values: Iterable[object]) -> None:
-        hashes = np.fromiter(
-            (stable_hash(v) for v in values), dtype=np.int64
-        )
-        if hashes.size == 0:
+        # canonicalize once, then deduplicate: repeated values cannot change
+        # a min, and distinct tokens hit the process-wide BLAKE2b memo, so
+        # bulk registration pays one digest per *new* token ever seen
+        tokens = [repr(v) for v in values]
+        if not tokens:
             return
+        distinct = set(tokens)
+        hashes = np.fromiter(
+            (_hash_token(t) for t in distinct),
+            dtype=np.int64,
+            count=len(distinct),
+        )
         # (k, n) matrix of universal hashes; min over values per permutation.
         hashed = (self._a[:, None] * hashes[None, :] + self._b[:, None]) % _PRIME
         np.minimum(self.signature, hashed.min(axis=1), out=self.signature)
-        self.count += int(hashes.size)
+        self.count += len(tokens)
 
     @classmethod
     def of(

@@ -150,7 +150,8 @@ def test_build_fused_contrast_view():
         [("oslo", 12.0), ("rome", 25.0)],
     )
     builder = MashupBuilder()
-    builder.add_datasets([a, b])
+    builder.add_dataset(a)
+    builder.add_dataset(b)
     fused = builder.build_fused(
         MashupRequest(attributes=["temp"], key="city", max_results=4),
         key="city",
