@@ -78,7 +78,7 @@ def mc_sweep(smoke):
     return rows
 
 
-def test_e19_report(mc_sweep, table, benchmark):
+def test_e19_report(mc_sweep, table, benchmark, bench_json):
     benchmark(monte_carlo_shapley, capped_game(50), 50, seed=1)
     table(
         ["players", "perms", "scalar (ms)", "batched (ms)", "speedup",
@@ -86,6 +86,14 @@ def test_e19_report(mc_sweep, table, benchmark):
         [(n, m, ts, tb, f"{s}x", f"{d:.2e}")
          for n, m, ts, tb, s, d in mc_sweep],
         title="E19: Monte Carlo Shapley — scalar loop vs vectorized engine",
+    )
+    bench_json(
+        "E19",
+        mc_shapley={
+            n: {"scalar_ms": ts, "batched_ms": tb, "speedup": s}
+            for n, _m, ts, tb, s, _d in mc_sweep
+        },
+        allocations_match_to_1e6=all(d < 1e-6 for *_x, d in mc_sweep),
     )
 
 

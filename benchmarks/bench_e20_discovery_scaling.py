@@ -139,7 +139,7 @@ def sweep(smoke):
     return rows
 
 
-def test_e20_report(sweep, table):
+def test_e20_report(sweep, table, bench_json):
     table(
         ["datasets", "columns", "op", "full rebuild (ms)",
          "incremental (ms)", "speedup", "candidates"],
@@ -147,6 +147,15 @@ def test_e20_report(sweep, table):
          for n, c, op, tf, ti, s, k in sweep],
         title="E20: discovery maintenance — LSH-bucketed incremental patch "
         "vs O(C²) rebuild",
+    )
+    bench_json(
+        "E20",
+        incremental_vs_rebuild={
+            f"{n}_{op}": {"rebuild_ms": tf, "incremental_ms": ti,
+                          "speedup": s}
+            for n, _c, op, tf, ti, s, _k in sweep
+        },
+        candidate_sets_identical=True,  # asserted inside the sweep fixture
     )
 
 

@@ -75,8 +75,12 @@ def sweep(smoke):
         engine = MetadataEngine(num_perm=NUM_PERM)
         index = IndexBuilder(engine)
         discovery = DiscoveryEngine(engine, index)
-        beam = DoDEngine(engine, index, discovery)
-        oracle = DoDEngine(engine, index, discovery, exhaustive=True)
+        # plan caching off: this experiment measures enumerator work, and
+        # a cached second request would zero the oracle's counters
+        beam = DoDEngine(engine, index, discovery, plan_cache=False)
+        oracle = DoDEngine(
+            engine, index, discovery, exhaustive=True, plan_cache=False
+        )
         engine.register_batch(make_dataset(i, rng) for i in range(n))
         assert len(index.components()) == N_CLUSTERS
 
@@ -114,7 +118,7 @@ def sweep(smoke):
     return rows
 
 
-def test_e21_report(sweep, table):
+def test_e21_report(sweep, table, bench_json):
     table(
         ["datasets", "plans", "scored (oracle)", "scored (beam)",
          "scoring reduction", "join attempts (oracle)",
@@ -124,6 +128,15 @@ def test_e21_report(sweep, table):
          for n, p, so, sb, red, jo, jb, pr, to, tb, sp in sweep],
         title="E21: DoD planning — component-pruned beam search vs "
         "exhaustive oracle (identical top-k plans)",
+    )
+    bench_json(
+        "E21",
+        planning={
+            n: {"scored_oracle": so, "scored_beam": sb,
+                "scoring_reduction": red, "latency_speedup": sp}
+            for n, _p, so, sb, red, _jo, _jb, _pr, _to, _tb, sp in sweep
+        },
+        top_k_plans_identical=True,  # asserted inside the sweep fixture
     )
 
 

@@ -80,12 +80,30 @@ def sweep():
     return rows
 
 
-def test_e3_report(sweep, table, benchmark):
+def test_e3_report(sweep, table, benchmark, bench_json):
     benchmark(exact_shapley, capped_game(8))
     table(
         ["players", "estimator", "evaluations", "time (ms)", "MAE vs exact"],
         sorted(sweep),
         title="E3: Shapley estimators — cost vs error",
+    )
+    largest = max(n for n, *_ in sweep)
+    evals = {
+        label: e for n, label, e, _t, _err in sweep if n == largest
+    }
+    errors = {
+        label: err for n, label, err in (
+            (n, label, err) for n, label, _e, _t, err in sweep
+        ) if n == largest and label != "exact"
+    }
+    bench_json(
+        "E3",
+        players=largest,
+        evaluations=evals,
+        mae_vs_exact=errors,
+        eval_saving_mc_vs_exact=round(
+            evals["exact"] / max(evals.get("mc-100", 1), 1), 1
+        ),
     )
 
 

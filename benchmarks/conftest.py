@@ -12,7 +12,13 @@ evaluation *plan*; these harnesses execute it).  Benchmarks both
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: experiment -> metric fields accumulated by the ``bench_json`` fixture
+_BENCH_METRICS: dict[str, dict] = {}
 
 
 def pytest_addoption(parser):
@@ -39,6 +45,39 @@ def pytest_configure(config):
 def smoke(request) -> bool:
     """True in ``--smoke`` mode; benchmarks use it to shrink workloads."""
     return request.config.getoption("--smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_json(request):
+    """Record machine-readable benchmark metrics.
+
+    ``bench_json("E23", speedup=7.2, outputs_identical=True)`` merges the
+    fields into the experiment's record; when the session ends each
+    experiment is written to ``BENCH_<EXP>.json`` in the working
+    directory.  CI uploads these as artifacts, so headline speedups and
+    equality checks are tracked run-over-run instead of scrolling away in
+    the console log.  Every record carries ``smoke`` so shrunken-workload
+    numbers (noisy, below timing-stable sizes) are never compared against
+    full-run numbers."""
+    is_smoke = bool(request.config.getoption("--smoke"))
+
+    def _record(experiment: str, **fields) -> None:
+        record = _BENCH_METRICS.setdefault(
+            experiment.upper(), {"smoke": is_smoke}
+        )
+        record.update(fields)
+
+    yield _record
+    for experiment, payload in sorted(_BENCH_METRICS.items()):
+        Path(f"BENCH_{experiment}.json").write_text(
+            json.dumps(
+                {"experiment": experiment, **payload},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+            + "\n"
+        )
 
 
 @pytest.fixture

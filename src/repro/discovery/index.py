@@ -38,7 +38,9 @@ available as the reference oracle behind ``incremental=False``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import Iterable
 
 import networkx as nx
 
@@ -157,6 +159,9 @@ class IndexBuilder:
         self._components: tuple[frozenset[str], ...] = ()
         self._component_id: dict[str, int] = {}
         self._components_version = -1
+        self._fingerprints: tuple[str, ...] = ()
+        self._fingerprint_set: frozenset[str] = frozenset()
+        self._fingerprints_version = -1
         self._stale = True
         self._subscription = None
         if subscribe:
@@ -564,6 +569,63 @@ class IndexBuilder:
         self._ensure_fresh()
         self._ensure_components()
         return self._component_id.get(dataset)
+
+    def _ensure_fingerprints(self) -> None:
+        if self._fingerprints_version == self._graph_version:
+            return
+        self._ensure_components()
+        fps = []
+        for comp in self._components:
+            h = hashlib.blake2b(digest_size=16)
+            for ds in sorted(comp):
+                h.update(ds.encode())
+                h.update(b"\x00")
+                h.update(self._profiles[ds].content_hash.encode())
+                h.update(b"\x01")
+            fps.append(h.hexdigest())
+        self._fingerprints = tuple(fps)
+        self._fingerprint_set = frozenset(fps)
+        self._fingerprints_version = self._graph_version
+
+    def component_fingerprints(self) -> tuple[str, ...]:
+        """One digest per component (aligned with :meth:`components`),
+        covering its membership and every member's table content hash.
+
+        A fingerprint changes exactly when some delta touched that
+        component — a member arrived, departed, changed content/schema, or
+        components merged or split.  Everything the builder derives for a
+        component (candidates, edges, join paths) is a deterministic
+        function of its members' profiles, so *per-delta changed-component
+        reporting* reduces to diffing fingerprint sets across deltas:
+        consumers snapshot the fingerprints their result depended on and
+        later check them against :meth:`component_fingerprint_set` — the
+        DoD plan cache keys its entries this way to survive unrelated
+        seller churn."""
+        self._ensure_fresh()
+        self._ensure_fingerprints()
+        return self._fingerprints
+
+    def component_fingerprint_set(self) -> frozenset[str]:
+        """The current fingerprints as a set (for O(1) staleness checks)."""
+        self._ensure_fresh()
+        self._ensure_fingerprints()
+        return self._fingerprint_set
+
+    def component_fingerprint_of(self, dataset: str) -> str | None:
+        """Fingerprint of ``dataset``'s component, or None when unknown."""
+        cid = self.component_of(dataset)
+        if cid is None:
+            return None
+        self._ensure_fingerprints()
+        return self._fingerprints[cid]
+
+    def changed_components(
+        self, fingerprints: Iterable[str]
+    ) -> frozenset[str]:
+        """Of the given (previously observed) fingerprints, the ones whose
+        component has since changed — i.e. no current component carries
+        that digest any more."""
+        return frozenset(fingerprints) - self.component_fingerprint_set()
 
     def reachable(self, datasets) -> bool:
         """True when every named dataset lies in one connected component —

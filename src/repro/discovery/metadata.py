@@ -89,25 +89,38 @@ class MetadataEngine:
         """Share interface: register or update a single dataset."""
         self._check_quota()
         name = relation.name
-        content_hash = relation.content_hash()
-        lifecycle = self._lifecycles.get(name)
-        if lifecycle is not None and lifecycle.current.content_hash == content_hash:
-            return lifecycle.current  # unchanged: no new snapshot
-        self._clock += 1
-        previous = lifecycle.current if lifecycle else None
-        snapshot = ContextSnapshot(
-            dataset=name,
-            version=previous.version + 1 if previous else 1,
-            logical_time=self._clock,
-            content_hash=content_hash,
-            profile=profile_table(
-                relation,
-                num_perm=self._num_perm,
-                previous=previous.profile if previous else None,
-            ),
-            owners=(owner,),
-            credentials=credentials,
-        )
+        # one profiling pass: keep the columnar view's text caches alive
+        # across the dedupe hash + per-column profiling; always released
+        # on the way out so an always-on engine does not pin ~tens of
+        # bytes per cell for the lifetime of every registered relation
+        view = relation.columnar
+        view.retain_text = True
+        try:
+            content_hash = relation.content_hash()
+            lifecycle = self._lifecycles.get(name)
+            if (
+                lifecycle is not None
+                and lifecycle.current.content_hash == content_hash
+            ):
+                return lifecycle.current  # unchanged: no new snapshot
+            self._clock += 1
+            previous = lifecycle.current if lifecycle else None
+            snapshot = ContextSnapshot(
+                dataset=name,
+                version=previous.version + 1 if previous else 1,
+                logical_time=self._clock,
+                content_hash=content_hash,
+                profile=profile_table(
+                    relation,
+                    num_perm=self._num_perm,
+                    previous=previous.profile if previous else None,
+                ),
+                owners=(owner,),
+                credentials=credentials,
+            )
+        finally:
+            view.release_text()
+            view.retain_text = False
         if lifecycle is None:
             self._lifecycles[name] = DatasetLifecycle(relation, [snapshot])
         else:

@@ -4,16 +4,47 @@ Section 5.1: each dataset is divided into *data items*; a column data item
 yields a value-distribution signature.  A :class:`ColumnProfile` packages the
 MinHash signature plus summary statistics; a :class:`TableProfile` is the
 per-dataset bundle stored inside context snapshots.
+
+Profiling is **columnar by default**: the relation's memoized
+:class:`~repro.relation.columnar.ColumnarView` computes one canonical
+``repr`` per value, and that single pass feeds every consumer — the
+column content hash digests the view's concatenated separator-delimited
+byte buffer in one C-level BLAKE2b call, the MinHash signature folds the
+distinct reprs through the vectorized token hasher, and the categorical
+summary counts the same cached strings.  The original value-at-a-time
+implementations are kept as the **scalar reference oracle** behind
+``columnar=False`` (or :func:`set_columnar_profiling`); both paths produce
+bit-identical profiles, which the test suite asserts property-style over
+randomized dtypes.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import Counter
 from dataclasses import dataclass
 from difflib import SequenceMatcher
+from functools import cached_property, lru_cache
 
 from ..relation import Relation
 from ..sketches import CategoricalSummary, MinHash, NumericSummary
+
+#: module default for the columnar fast path; flip with
+#: :func:`set_columnar_profiling` to fall back to the scalar reference
+#: oracle globally (e.g. when benchmarking one against the other)
+_COLUMNAR_DEFAULT = True
+
+
+def set_columnar_profiling(enabled: bool) -> bool:
+    """Set the module-wide default profiling mode; returns the old value."""
+    global _COLUMNAR_DEFAULT
+    previous = _COLUMNAR_DEFAULT
+    _COLUMNAR_DEFAULT = bool(enabled)
+    return previous
+
+
+def _use_columnar(flag: bool | None) -> bool:
+    return _COLUMNAR_DEFAULT if flag is None else flag
 
 
 @dataclass(frozen=True)
@@ -53,15 +84,35 @@ class TableProfile:
     content_hash: str
     columns: tuple[ColumnProfile, ...]
 
+    @cached_property
+    def _by_name(self) -> dict[str, ColumnProfile]:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits; lookups after the first are O(1) even on
+        # wide tables
+        return {c.column: c for c in self.columns}
+
     def column(self, name: str) -> ColumnProfile:
-        for c in self.columns:
-            if c.column == name:
-                return c
-        raise KeyError(f"no profile for column {name!r} of {self.dataset!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no profile for column {name!r} of {self.dataset!r}"
+            ) from None
 
 
-def column_content_hash(relation: Relation, name: str) -> str:
-    """Deterministic hash of one column's values (order-sensitive)."""
+def column_content_hash(
+    relation: Relation, name: str, *, columnar: bool | None = None
+) -> str:
+    """Deterministic hash of one column's values (order-sensitive).
+
+    The columnar path digests the view's canonical byte buffer in a single
+    update; the scalar reference streams value-by-value.  Both produce the
+    same byte stream, hence bit-identical digests.
+    """
+    if _use_columnar(columnar):
+        return hashlib.blake2b(
+            relation.columnar.canonical_bytes(name), digest_size=16
+        ).hexdigest()
     h = hashlib.blake2b(digest_size=16)
     for v in relation.column(name):
         h.update(repr(v).encode())
@@ -71,20 +122,53 @@ def column_content_hash(relation: Relation, name: str) -> str:
 
 def profile_column(
     relation: Relation, name: str, num_perm: int = 64,
-    content_hash: str | None = None,
+    content_hash: str | None = None, *, columnar: bool | None = None,
 ) -> ColumnProfile:
     """Sketch one column; pass ``content_hash`` when already computed."""
     col = relation.schema[name]
-    values = relation.column(name)
-    non_null = [v for v in values if v is not None]
-    distinct = {repr(v) for v in non_null}
-    signature = MinHash.of(
-        (_canonical(v) for v in distinct), num_perm=num_perm
-    )
-    numeric = None
-    if col.dtype in ("int", "float"):
-        numeric = NumericSummary.of(values)
-    categorical = CategoricalSummary.of(values)
+    use_columnar = _use_columnar(columnar)
+    if use_columnar:
+        view = relation.columnar
+        nulls = view.null_count(name)
+        distinct = view.distinct_reprs(name)
+        n_non_null = len(view.values(name)) - nulls
+        signature = MinHash.of_tokens(distinct, num_perm=num_perm)
+        numeric = None
+        if col.dtype in ("int", "float"):
+            numeric = NumericSummary.of_array(view.numeric_array(name), nulls)
+        freq = view.categorical_counts(name)
+        if freq is None:
+            # no sound counting pass (float/any, tiny, or subclass-bearing
+            # column): derive counts from the cached repr/value vectors —
+            # the repr/str shortcuts apply only to exact builtin cells
+            non_null, non_null_reprs = view.non_null(name)
+            exact = view.values_exact(name)
+            if (
+                col.dtype == "float" and exact
+                and len(distinct) == n_non_null
+            ):
+                # str == repr for floats, and an all-unique (key-like)
+                # column needs no counting at all (repr is injective)
+                freq = dict.fromkeys(distinct, 1)
+            elif col.dtype in ("int", "float", "bool") and exact:
+                freq = Counter(non_null_reprs)
+            elif col.dtype == "str" and exact:
+                freq = Counter(non_null)  # str(v) is v for str values
+            else:
+                freq = Counter(map(str, non_null))
+        categorical = CategoricalSummary.of_counts(freq, nulls)
+    else:
+        values = relation.column(name)
+        non_null = [v for v in values if v is not None]
+        n_non_null = len(non_null)
+        distinct = {repr(v) for v in non_null}
+        signature = MinHash.of_tokens(
+            distinct, num_perm=num_perm, vectorize=False
+        )
+        numeric = None
+        if col.dtype in ("int", "float"):
+            numeric = NumericSummary.of(values)
+        categorical = CategoricalSummary.of(values)
     return ColumnProfile(
         dataset=relation.name,
         column=name,
@@ -93,8 +177,10 @@ def profile_column(
         signature=signature,
         numeric=numeric,
         categorical=categorical,
-        distinct_fraction=(len(distinct) / len(non_null)) if non_null else 0.0,
-        content_hash=content_hash or column_content_hash(relation, name),
+        distinct_fraction=(len(distinct) / n_non_null) if n_non_null else 0.0,
+        content_hash=content_hash or column_content_hash(
+            relation, name, columnar=use_columnar
+        ),
     )
 
 
@@ -102,20 +188,22 @@ def profile_table(
     relation: Relation,
     num_perm: int = 64,
     previous: TableProfile | None = None,
+    *,
+    columnar: bool | None = None,
 ) -> TableProfile:
     """Profile every column; with ``previous`` (the dataset's prior profile),
     columns whose values, dtype and semantic are unchanged reuse the old
     :class:`ColumnProfile` — no re-sketching — so incremental re-registration
     of a wide dataset only pays for the columns that actually moved.
     """
-    prior = (
-        {c.column: c for c in previous.columns} if previous is not None else {}
-    )
+    prior = previous._by_name if previous is not None else {}
+    if _use_columnar(columnar):
+        relation.columnar.materialize()  # one transpose for all columns
     columns = []
     for name in relation.columns:
         col = relation.schema[name]
         old = prior.get(name)
-        content_hash = column_content_hash(relation, name)
+        content_hash = column_content_hash(relation, name, columnar=columnar)
         if (
             old is not None
             and old.content_hash
@@ -128,7 +216,8 @@ def profile_table(
             continue
         columns.append(
             profile_column(
-                relation, name, num_perm=num_perm, content_hash=content_hash
+                relation, name, num_perm=num_perm, content_hash=content_hash,
+                columnar=columnar,
             )
         )
     return TableProfile(
@@ -139,19 +228,13 @@ def profile_table(
     )
 
 
-def _canonical(value: object) -> str:
-    """Canonical token for signature hashing (ints and floats unify)."""
-    if isinstance(value, bool):
-        return f"b:{value}"
-    if isinstance(value, (int, float)):
-        return f"n:{float(value):.10g}"
-    return f"s:{value}"
-
-
-def name_similarity(a: str, b: str) -> float:
-    """Similarity of two column names in [0, 1] (case/sep-insensitive)."""
-    na = a.lower().replace("-", "_").strip("_")
-    nb = b.lower().replace("-", "_").strip("_")
+@lru_cache(maxsize=32768)
+def _name_similarity_normalized(na: str, nb: str) -> float:
+    """Similarity of two pre-normalized names, memoized process-wide: the
+    index builder re-scores the same column-name pairs on every delta.  The
+    ``SequenceMatcher`` ratio is only computed when its cheap upper bounds
+    (``real_quick_ratio``/``quick_ratio``) show it could exceed the token
+    Jaccard — the returned maximum is unchanged either way."""
     if na == nb:
         return 1.0
     tokens_a, tokens_b = set(na.split("_")), set(nb.split("_"))
@@ -160,5 +243,20 @@ def name_similarity(a: str, b: str) -> float:
         if tokens_a | tokens_b
         else 0.0
     )
-    char_sim = SequenceMatcher(None, na, nb).ratio()
-    return max(token_sim, char_sim)
+    if token_sim >= 1.0:
+        return token_sim
+    matcher = SequenceMatcher(None, na, nb)
+    if (
+        matcher.real_quick_ratio() <= token_sim
+        or matcher.quick_ratio() <= token_sim
+    ):
+        return token_sim
+    return max(token_sim, matcher.ratio())
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Similarity of two column names in [0, 1] (case/sep-insensitive)."""
+    return _name_similarity_normalized(
+        a.lower().replace("-", "_").strip("_"),
+        b.lower().replace("-", "_").strip("_"),
+    )

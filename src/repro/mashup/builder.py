@@ -39,6 +39,7 @@ class MashupBuilder:
         self, num_perm: int = 64, min_overlap: float = 0.5,
         incremental: bool = True, exhaustive: bool = False,
         beam_width: int | None = None, plan_cache: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.metadata = MetadataEngine(num_perm=num_perm)
         self.index = IndexBuilder(
@@ -48,7 +49,7 @@ class MashupBuilder:
         self.dod = DoDEngine(
             self.metadata, self.index, self.discovery,
             exhaustive=exhaustive, beam_width=beam_width,
-            plan_cache=plan_cache,
+            plan_cache=plan_cache, plan_cache_size=plan_cache_size,
         )
         self._gap_demand: dict[str, int] = {}
         self._hints: list[TransformHint] = []
@@ -76,10 +77,12 @@ class MashupBuilder:
         self.metadata.remove(name)
 
     def close(self) -> None:
-        """Detach index/search listeners from the metadata engine so a
-        discarded builder does not leak into long-running simulations."""
+        """Detach index/search/plan-cache listeners from the metadata
+        engine so a discarded builder does not leak into long-running
+        simulations."""
         self.index.detach()
         self.discovery.detach()
+        self.dod.detach()
 
     @property
     def datasets(self) -> list[str]:

@@ -16,10 +16,12 @@ builder, arbiter — and exposes a small set of typed operations:
 ======================  =====================================================
 
 Every mutation flows through this one choke point, which is what makes the
-graph-version **plan cache** sound: ``plan`` requests are memoized against
-:attr:`graph_version`, any dataset delta bumps the version and invalidates
-the cache, and every read result is stamped with the version it was
-computed against (``as_of``).  Errors on this surface are structured
+component-scoped **plan cache** sound: ``plan`` requests are memoized with
+the join-graph component fingerprints they depended on, a delta evicts
+exactly the entries whose components it touched (unrelated seller churn
+leaves the rest servable), and every read result is stamped with the graph
+version it was computed against (``as_of``).  Errors on this surface are
+structured
 :class:`~repro.errors.MarketError` subclasses, never bare ``ValueError``.
 
 The engine classes remain importable (they are the internal layer); the
@@ -78,7 +80,10 @@ class DataMarket:
     Constructor knobs forward to the internal layer: ``num_perm`` /
     ``min_overlap`` / ``incremental`` shape the discovery indexes,
     ``exhaustive`` / ``beam_width`` select the DoD plan enumerator, and
-    ``plan_cache`` toggles the graph-version plan cache (on by default).
+    ``plan_cache`` / ``plan_cache_size`` control the component-scoped plan
+    cache (on by default, LRU-bounded): cached plans survive deltas in
+    unrelated join-graph components and are evicted exactly when a delta
+    touched a component they depend on.
     """
 
     def __init__(
@@ -91,6 +96,7 @@ class DataMarket:
         exhaustive: bool = False,
         beam_width: int | None = None,
         plan_cache: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.design = design if design is not None else external_market()
         self.arbiter = Arbiter(
@@ -102,6 +108,7 @@ class DataMarket:
                 exhaustive=exhaustive,
                 beam_width=beam_width,
                 plan_cache=plan_cache,
+                plan_cache_size=plan_cache_size,
             ),
         )
         self._rounds = 0
@@ -278,9 +285,10 @@ class DataMarket:
     ) -> PlanResult:
         """Build ranked, materialized mashups for an attribute set.
 
-        Repeated identical requests at an unchanged :attr:`graph_version`
-        are served from the plan cache (``result.cached``); any dataset
-        delta invalidates it automatically.
+        Repeated identical requests are served from the component-scoped
+        plan cache (``result.cached``) for as long as no delta touched a
+        join-graph component the result depends on; relevant deltas evict
+        the entry automatically.
         """
         attrs = _normalized_attributes(attributes)
         if max_results < 1:

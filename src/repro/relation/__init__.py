@@ -1,5 +1,6 @@
 """Relational substrate: schemas, provenance-carrying relations, CSV I/O."""
 
+from .columnar import ColumnarView
 from .csvio import read_csv, read_csv_dir, read_csv_text, write_csv
 from .provenance import (
     ProvExpr,
@@ -20,6 +21,7 @@ from .schema import Column, Schema
 
 __all__ = [
     "Column",
+    "ColumnarView",
     "Schema",
     "Relation",
     "ProvExpr",

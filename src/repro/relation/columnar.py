@@ -1,0 +1,278 @@
+"""Memoized columnar view over a :class:`~repro.relation.relation.Relation`.
+
+The ingest cold path (profiling, sketching, content hashing) and several
+relational operators all need per-column data that the row-major tuple
+storage keeps re-deriving: the value vector, one canonical ``repr`` string
+per value, null counts, value frequencies, a separator-delimited canonical
+byte buffer, and a numeric array.  Relations are immutable, so all of it
+can be computed once and shared — a :class:`ColumnarView` is built lazily
+on first use and cached on the relation (``Relation.columnar``).
+
+For columns whose dtype guarantees that equal values share one ``repr``
+(:data:`REPR_DEDUP_DTYPES`), everything derives from a **single counting
+pass**: ``Counter(values)`` yields the null count and the distinct value
+universe, ``repr`` runs once per *distinct* value, and the per-row repr
+vector, the distinct token set for MinHash and the categorical frequency
+table are all fanned out from that one table.  Float and ``any`` columns
+fall back to per-value derivation (``0.0 == -0.0`` yet their reprs differ,
+and containers are unhashable).
+
+The canonical byte buffer of a column is exactly the byte stream the
+scalar ``column_content_hash`` loop feeds BLAKE2b (``repr(value)`` UTF-8
+encoded, each value followed by ``0x1f``), so digesting it in a single
+C-level call yields a bit-identical hash.
+
+Values in columns with a declared scalar dtype (int/float/str/bool) are
+assumed to be plain scalars or ``None`` per schema validation; only those
+columns get the fast paths — ``any``-typed columns (which may hold lists
+or other containers) always take the row-wise reference implementations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .relation import Relation
+
+#: dtypes whose values are guaranteed hashable scalars (or None)
+SCALAR_DTYPES = frozenset(("int", "float", "str", "bool"))
+
+#: dtypes where equal values always share one ``repr`` (so per-column work
+#: can run per *distinct* value and fan out through a dict).  ``float`` is
+#: excluded: ``0.0 == -0.0`` yet their reprs differ, so value-keyed dedup
+#: could corrupt the canonical stream.  The guarantee only holds for the
+#: exact builtin types — an ``IntEnum`` equals its int but reprs
+#: differently — so eligibility also requires an observed-type check
+#: (:data:`_DEDUP_EXACT_TYPES`).
+REPR_DEDUP_DTYPES = frozenset(("int", "str", "bool"))
+
+#: per-dtype sets of *exact* runtime types under which ``repr``/``str``
+#: shortcuts are sound; subclasses (IntEnum, str subtypes) compare equal
+#: to builtins yet render differently, so observing any other type
+#: disables every value-keyed shortcut for that column.  A ``float``
+#: column may legitimately hold ints (str == repr for both).
+_EXACT_TYPES = {
+    "int": frozenset((int, type(None))),
+    "str": frozenset((str, type(None))),
+    "bool": frozenset((bool, type(None))),
+    "float": frozenset((float, int, type(None))),
+}
+
+#: columns shorter than this skip the counting pass (overhead beats reuse)
+_COUNT_MIN_ROWS = 64
+
+#: separator byte terminating each canonical value (matches the scalar
+#: content-hash loop)
+CANONICAL_SEP = "\x1f"
+
+
+class ColumnarView:
+    """Per-column caches for one immutable relation (built lazily)."""
+
+    __slots__ = (
+        "_relation", "_values", "_reprs", "_nulls", "_non_null",
+        "_counts", "_repr_table", "_distinct", "_exact", "retain_text",
+    )
+
+    def __init__(self, relation: "Relation"):
+        self._relation = relation
+        #: set by owners of a profiling pass (the metadata engine) so
+        #: intermediate consumers like ``content_hash`` keep the text
+        #: caches alive for the rest of the pass instead of releasing
+        #: what they had to build
+        self.retain_text = False
+        self._values: dict[str, tuple] = {}
+        self._reprs: dict[str, list[str]] = {}
+        self._nulls: dict[str, int] = {}
+        #: (non-null values, non-null reprs) per column; aliases the full
+        #: vectors when the column has no nulls
+        self._non_null: dict[str, tuple] = {}
+        #: value -> occurrence count (None excluded), dedup dtypes only
+        self._counts: dict[str, Mapping] = {}
+        #: value -> repr (including None when present), dedup dtypes only
+        self._repr_table: dict[str, dict] = {}
+        #: distinct non-null reprs (the MinHash token universe)
+        self._distinct: dict[str, set[str]] = {}
+        self._exact: dict[str, bool] = {}
+
+    # -- raw vectors -------------------------------------------------------
+    def materialize(self) -> None:
+        """Build every column vector in one C-level transpose — cheaper
+        than per-column row scans when a consumer (the table profiler or
+        the relation content hash) is about to touch all of them anyway."""
+        relation = self._relation
+        if len(self._values) >= len(relation.schema):
+            return
+        if relation.rows:
+            columns = zip(*relation.rows)
+        else:
+            columns = ((),) * len(relation.schema)
+        for name, column in zip(relation.schema.names, columns):
+            # keep already-built vectors (and their derived caches)
+            self._values.setdefault(name, column)
+
+    def values(self, name: str) -> tuple:
+        """One column's values in row order, materialized once."""
+        vals = self._values.get(name)
+        if vals is None:
+            i = self._relation.schema.position(name)
+            vals = tuple([row[i] for row in self._relation.rows])
+            self._values[name] = vals
+        return vals
+
+    # -- the single counting pass (dedup dtypes) ---------------------------
+    def values_exact(self, name: str) -> bool:
+        """True when every cell is the exact builtin type the dtype
+        promises (or None) — the precondition for every repr/str
+        shortcut (one C-level type scan, cached)."""
+        ok = self._exact.get(name)
+        if ok is None:
+            exact = _EXACT_TYPES.get(self._relation.schema[name].dtype)
+            ok = (
+                exact is not None
+                and set(map(type, self.values(name))) <= exact
+            )
+            self._exact[name] = ok
+        return ok
+
+    def _dedupable(self, name: str) -> bool:
+        return (
+            self._relation.schema[name].dtype in REPR_DEDUP_DTYPES
+            and len(self._relation.rows) >= _COUNT_MIN_ROWS
+            and self.values_exact(name)
+        )
+
+    def value_counts(self, name: str) -> Mapping | None:
+        """Occurrence count per distinct non-null value (one C-level
+        ``Counter`` pass), or None when counting by value is unsound for
+        the dtype (float/any) or the column is trivially small."""
+        counts = self._counts.get(name)
+        if counts is None:
+            if not self._dedupable(name):
+                return None
+            counts = Counter(self.values(name))
+            nulls = counts.pop(None, 0)
+            self._counts[name] = counts
+            self._nulls[name] = nulls
+        return counts
+
+    def _table(self, name: str) -> dict:
+        """``value -> repr`` over the distinct universe (dedup dtypes)."""
+        table = self._repr_table.get(name)
+        if table is None:
+            counts = self.value_counts(name)
+            table = {v: repr(v) for v in counts}
+            self._distinct[name] = set(table.values())
+            if self._nulls[name]:
+                table[None] = "None"
+            self._repr_table[name] = table
+        return table
+
+    # -- derived vectors ---------------------------------------------------
+    def reprs(self, name: str) -> list[str]:
+        """``repr`` of every value in row order (the canonical tokens).
+
+        Dedup-dtype columns compute one repr per distinct value and fan it
+        out through the table instead of calling ``repr`` per cell."""
+        reprs = self._reprs.get(name)
+        if reprs is None:
+            values = self.values(name)
+            if self._dedupable(name):
+                reprs = list(map(self._table(name).__getitem__, values))
+            else:
+                reprs = list(map(repr, values))
+            self._reprs[name] = reprs
+        return reprs
+
+    def null_count(self, name: str) -> int:
+        nulls = self._nulls.get(name)
+        if nulls is None:
+            if self._dedupable(name):
+                self.value_counts(name)  # populates the null count
+                return self._nulls[name]
+            values = self.values(name)
+            if self._relation.schema[name].dtype in SCALAR_DTYPES:
+                nulls = values.count(None)
+            else:
+                # identity check, not __eq__: an ``any``-typed cell may
+                # hold objects whose equality is non-boolean (arrays)
+                nulls = sum(1 for v in values if v is None)
+            self._nulls[name] = nulls
+        return nulls
+
+    def distinct_reprs(self, name: str) -> set[str]:
+        """Distinct reprs of the non-null values — the MinHash token
+        universe and the distinct-count numerator."""
+        distinct = self._distinct.get(name)
+        if distinct is None:
+            if self._dedupable(name):
+                self._table(name)  # populates the distinct set
+                return self._distinct[name]
+            _, non_null_reprs = self.non_null(name)
+            distinct = set(non_null_reprs)
+            self._distinct[name] = distinct
+        return distinct
+
+    def categorical_counts(self, name: str) -> Mapping[str, int] | None:
+        """``str(value) -> count`` over non-null values, derived from the
+        counting pass (dedup dtypes only; str(v) == repr(v) for int/bool
+        and str(v) is v for str)."""
+        counts = self.value_counts(name)
+        if counts is None:
+            return None
+        if self._relation.schema[name].dtype == "str":
+            return counts
+        table = self._table(name)
+        return {table[v]: c for v, c in counts.items()}
+
+    def non_null(self, name: str) -> tuple[tuple, list[str]]:
+        """(non-null values, their reprs), both in row order."""
+        pair = self._non_null.get(name)
+        if pair is None:
+            values, reprs = self.values(name), self.reprs(name)
+            if self.null_count(name) == 0:
+                pair = (values, reprs)
+            else:
+                kept = [
+                    (v, r) for v, r in zip(values, reprs) if v is not None
+                ]
+                pair = (
+                    tuple(v for v, _ in kept),
+                    [r for _, r in kept],
+                )
+            self._non_null[name] = pair
+        return pair
+
+    def release_text(self) -> None:
+        """Drop the derived text caches (reprs, counts, distinct sets).
+
+        They exist to be shared across the consumers of *one* profiling
+        pass; once a dataset is registered they would otherwise stay
+        pinned for the relation's lifetime (~tens of bytes per cell).
+        The value vectors stay — they alias the row tuples' objects and
+        keep ``column()``/``project()`` fast.  Everything released is
+        rebuilt lazily if asked for again."""
+        self._reprs.clear()
+        self._non_null.clear()
+        self._counts.clear()
+        self._repr_table.clear()
+        self._distinct.clear()
+
+    # -- derived buffers (computed on demand, not cached: single-use) ------
+    def canonical_bytes(self, name: str) -> bytes:
+        """The column's canonical byte buffer: ``repr`` of each value (nulls
+        included), UTF-8, each terminated by the ``0x1f`` separator — the
+        exact stream the scalar content-hash loop produces."""
+        reprs = self.reprs(name)
+        if not reprs:
+            return b""
+        return (CANONICAL_SEP.join(reprs) + CANONICAL_SEP).encode()
+
+    def numeric_array(self, name: str) -> np.ndarray:
+        """Non-null values as a float64 array (numeric columns only)."""
+        values, _ = self.non_null(name)
+        return np.asarray(values, dtype=float)

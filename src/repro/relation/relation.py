@@ -13,6 +13,7 @@ import hashlib
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import SchemaError, UnknownColumnError
+from .columnar import SCALAR_DTYPES, ColumnarView
 from .provenance import ProvExpr, ProvOne, ProvToken, plus, times
 from .schema import Column, Schema
 
@@ -33,7 +34,7 @@ def _freeze(value: Any) -> Any:
 class Relation:
     """An immutable, provenance-annotated bag of tuples."""
 
-    __slots__ = ("name", "schema", "_rows", "_prov")
+    __slots__ = ("name", "schema", "_rows", "_prov", "_columnar", "_chash")
 
     def __init__(
         self,
@@ -46,6 +47,8 @@ class Relation:
         self.name = name
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self._rows: tuple[Row, ...] = tuple(tuple(r) for r in rows)
+        self._columnar: ColumnarView | None = None
+        self._chash: str | None = None
         if validate:
             for row in self._rows:
                 self.schema.validate_row(row)
@@ -131,10 +134,25 @@ class Relation:
             f"cols={list(self.columns)})"
         )
 
+    @property
+    def columnar(self) -> ColumnarView:
+        """Lazily-built, memoized columnar view (per-column value vectors,
+        canonical reprs/bytes, numeric arrays).  Safe to share: the relation
+        is immutable, so the view is computed at most once per column."""
+        view = self._columnar
+        if view is None:
+            view = self._columnar = ColumnarView(self)
+        return view
+
+    @property
+    def _all_scalar(self) -> bool:
+        """True when every declared dtype guarantees hashable scalar cells,
+        enabling the freeze-free fast paths."""
+        return all(c.dtype in SCALAR_DTYPES for c in self.schema.columns)
+
     def column(self, name: str) -> list:
         """All values of one column, in row order."""
-        i = self.schema.position(name)
-        return [row[i] for row in self._rows]
+        return list(self.columnar.values(name))
 
     def to_dicts(self) -> list[dict[str, Any]]:
         names = self.schema.names
@@ -163,12 +181,45 @@ class Relation:
         return "\n".join([header, sep, *body, *tail])
 
     def content_hash(self) -> str:
-        """Order-insensitive digest of schema + rows (for change detection)."""
+        """Order-insensitive digest of schema + rows (for change detection).
+
+        Memoized (the relation is immutable, and registration hashes the
+        same relation more than once).  All-scalar relations assemble the
+        per-row ``repr`` strings from the columnar view's cached per-value
+        reprs — shared with column hashing and profiling, so each cell is
+        repr'd once per relation — and digest one joined buffer.  The
+        digest is bit-identical to the row-wise reference because
+        ``_freeze`` is the identity on scalar cells and Python's tuple
+        ``repr`` is reproduced exactly.
+        """
+        if self._chash is not None:
+            return self._chash
         h = hashlib.sha256()
         h.update(repr(self.schema).encode())
-        for row in sorted(map(repr, map(_freeze_row, self._rows))):
-            h.update(row.encode())
-        return h.hexdigest()
+        n_cols = len(self.schema)
+        if self._rows and n_cols >= 1 and self._all_scalar:
+            view = self.columnar
+            populated_before = bool(view._reprs)
+            view.materialize()
+            repr_cols = [view.reprs(n) for n in self.schema.names]
+            if n_cols == 1:
+                row_strs = [f"({r},)" for r in repr_cols[0]]
+            else:
+                row_strs = [
+                    "(%s)" % ", ".join(t) for t in zip(*repr_cols)
+                ]
+            h.update("".join(sorted(row_strs)).encode())
+            if not view.retain_text and not populated_before:
+                # nobody else is using the text caches we just built (a
+                # profiling pass sets ``retain_text``); don't leave ~tens
+                # of bytes per cell pinned on a relation that merely got
+                # hashed — the digest itself is memoized below
+                view.release_text()
+        else:
+            for row in sorted(map(repr, map(_freeze_row, self._rows))):
+                h.update(row.encode())
+        self._chash = h.hexdigest()
+        return self._chash
 
     # ------------------------------------------------------------------
     # relational algebra (all provenance-propagating)
@@ -185,13 +236,20 @@ class Relation:
         rel.schema = schema
         rel._rows = tuple(rows)
         rel._prov = tuple(prov)
+        rel._columnar = None
+        rel._chash = None
         return rel
 
     def project(self, names: Sequence[str]) -> "Relation":
         """π — keep the given columns (duplicates preserved: bag semantics)."""
-        idx = self.schema.positions(names)
-        rows = [tuple(row[i] for i in idx) for row in self._rows]
-        return self._derive(self.name, self.schema.project(names), rows, self._prov)
+        schema = self.schema.project(names)
+        if names:
+            # recombine memoized column vectors (zip is one C-level pass)
+            view = self.columnar
+            rows: Iterable[Row] = zip(*[view.values(n) for n in names])
+        else:
+            rows = [() for _ in self._rows]
+        return self._derive(self.name, schema, rows, self._prov)
 
     def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Relation":
         """σ — keep rows for which ``predicate(row_as_dict)`` is truthy."""
@@ -247,11 +305,13 @@ class Relation:
 
     def distinct(self) -> "Relation":
         """δ — duplicate elimination; provenance of duplicates is summed."""
+        # scalar-typed rows are already hashable: skip the per-cell freeze
+        freeze = (lambda row: row) if self._all_scalar else _freeze_row
         seen: dict[Row, int] = {}
         rows: list[Row] = []
         provs: list[list[ProvExpr]] = []
         for row, prov in zip(self._rows, self._prov):
-            key = _freeze_row(row)
+            key = freeze(row)
             if key in seen:
                 provs[seen[key]].append(prov)
             else:

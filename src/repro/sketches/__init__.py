@@ -2,7 +2,13 @@
 
 from .histograms import CategoricalSummary, NumericSummary
 from .lsh import LSHIndex
-from .minhash import MinHash, containment, jaccard_exact, stable_hash
+from .minhash import (
+    MinHash,
+    containment,
+    hash_tokens,
+    jaccard_exact,
+    stable_hash,
+)
 
 __all__ = [
     "MinHash",
@@ -10,6 +16,7 @@ __all__ = [
     "NumericSummary",
     "CategoricalSummary",
     "stable_hash",
+    "hash_tokens",
     "containment",
     "jaccard_exact",
 ]

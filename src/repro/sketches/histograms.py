@@ -10,7 +10,8 @@ WTP functions (e.g. "few missing values").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from heapq import nsmallest
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -32,6 +33,15 @@ class NumericSummary:
     def of(cls, values: Sequence, bins: int = 10) -> "NumericSummary":
         nulls = sum(1 for v in values if v is None)
         data = np.array([float(v) for v in values if v is not None], dtype=float)
+        return cls.of_array(data, nulls, bins=bins)
+
+    @classmethod
+    def of_array(
+        cls, data: np.ndarray, nulls: int, bins: int = 10
+    ) -> "NumericSummary":
+        """Summary from an already-materialized float array of the non-null
+        values (the columnar profiler's entry point); :meth:`of` delegates
+        here, so both paths produce bit-identical summaries."""
         if data.size == 0:
             return cls(0, nulls, float("nan"), float("nan"), float("nan"),
                        float("nan"), (), ())
@@ -73,6 +83,10 @@ class CategoricalSummary:
 
     @classmethod
     def of(cls, values: Sequence, top_k: int = 10) -> "CategoricalSummary":
+        """Value-at-a-time reference implementation (the scalar profiling
+        oracle); the columnar path builds a ``Counter`` over cached
+        canonical strings and goes through :meth:`of_counts`, which is
+        property-tested to produce identical summaries."""
         nulls = 0
         freq: dict[str, int] = {}
         for v in values:
@@ -90,6 +104,40 @@ class CategoricalSummary:
             distinct=len(freq),
             top=top,
         )
+
+    @classmethod
+    def of_counts(
+        cls, freq: Mapping[str, int], nulls: int, top_k: int = 10
+    ) -> "CategoricalSummary":
+        """Summary from precomputed value counts (the columnar profiler's
+        entry point).  Identical output to :meth:`of` on the same counts;
+        the heavy-hitter selection avoids sorting the full distinct set —
+        a count threshold from ``np.partition`` narrows the sort to
+        potential top-k members, and all-tied tails fall back to a
+        key-order ``nsmallest``."""
+        n = len(freq)
+        count = sum(freq.values())
+        if n <= max(32, 4 * top_k):
+            top = tuple(
+                sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+            )
+            return cls(count=count, nulls=nulls, distinct=n, top=top)
+        if count == n:
+            # all values unique (e.g. a key column): ties everywhere, the
+            # heavy hitters are simply the top_k smallest keys
+            top = tuple((k, 1) for k in nsmallest(top_k, freq.keys()))
+            return cls(count=count, nulls=nulls, distinct=n, top=top)
+        counts = np.fromiter(freq.values(), dtype=np.int64, count=n)
+        # the top_k-th largest count: anything below it cannot place
+        thresh = int(np.partition(counts, n - top_k)[n - top_k])
+        above = [kv for kv in freq.items() if kv[1] > thresh]
+        above.sort(key=lambda kv: (-kv[1], kv[0]))
+        remaining = top_k - len(above)
+        at = nsmallest(
+            remaining, (k for k, v in freq.items() if v == thresh)
+        )
+        top = tuple(above + [(k, thresh) for k in at])
+        return cls(count=count, nulls=nulls, distinct=n, top=top)
 
     @property
     def null_fraction(self) -> float:

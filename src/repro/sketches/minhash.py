@@ -5,43 +5,194 @@ paper's "signatures of its contents", Section 5.1); the index builder then
 estimates Jaccard similarity between columns from the signatures alone to
 propose join candidates without scanning raw data.
 
-Hashing is based on BLAKE2b so signatures are deterministic across processes
-(Python's builtin ``hash`` is salted per-process and unsuitable).
+Token hashing is a 64-bit FNV-1a fold finalized with a splitmix64-style
+mixer, reduced into ``[0, 2**31 - 1)``.  The scheme is deterministic across
+processes (Python's builtin ``hash`` is salted per-process and unsuitable)
+and — unlike a per-token cryptographic digest — has two interchangeable,
+bit-identical implementations:
+
+* :func:`_hash_token` — the scalar reference, memoized process-wide;
+* :func:`_hash_token_batch` — a vectorized numpy fold over one packed byte
+  matrix (``np.frombuffer`` reinterpretation of the concatenated token
+  buffer), which is what makes bulk column profiling a handful of C-level
+  array operations instead of a Python loop per token.
+
+:func:`hash_tokens` picks between them by batch size; columnar and scalar
+profiling paths therefore produce identical signatures by construction
+(property-tested in ``tests/test_columnar_profiling.py``).
 """
 
 from __future__ import annotations
 
-import hashlib
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 #: modulus for universal hashing; small enough that a*h+b fits in int64
 _PRIME = (1 << 31) - 1
 
+_M64 = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MIX_1 = 0xFF51AFD7ED558CCD
+_MIX_2 = 0xC4CEB9FE1A85EC53
+
 #: process-wide token-hash memo: corpora share vocabularies heavily, so the
-#: BLAKE2b digest of a token is computed once and reused across every column
-#: and dataset registered in this process.  Bounded so adversarially unique
+#: hash of a token is computed once and reused across every column and
+#: dataset registered in this process.  Bounded so adversarially unique
 #: corpora cannot grow it without limit (entries are never evicted; once the
 #: cap is hit new tokens are hashed without being remembered).
 _TOKEN_CACHE: dict[str, int] = {}
 _TOKEN_CACHE_CAP = 1 << 20
 
+#: batches at least this large take the vectorized path
+_VECTORIZE_MIN = 24
+#: tokens longer than this (bytes) force the scalar path — the padded byte
+#: matrix is dense, so one huge token would inflate it for the whole batch
+_VECTORIZE_MAX_TOKEN = 512
+#: batches above this size skip the memo entirely: huge distinct sets are
+#: key-like (mostly one-shot), and probing/populating a million-entry dict
+#: costs more than re-running the vectorized fold on a repeat
+_MEMO_MAX_BATCH = 4096
+#: the dense (n, max_len) byte matrix is processed at most this many
+#: tokens at a time, bounding transient memory on huge distinct sets
+_BATCH_CHUNK = 1 << 16
+
+
+def _hash_token_raw(token: str) -> int:
+    """The scalar hash computation itself (no memo): FNV-1a over the
+    UTF-8 bytes, splitmix64-style finalizer, mod ``_PRIME``.  Must stay
+    bit-identical to :func:`_hash_token_batch`."""
+    x = _FNV_OFFSET
+    for byte in token.encode():
+        x = ((x ^ byte) * _FNV_PRIME) & _M64
+    x = ((x ^ (x >> 33)) * _MIX_1) & _M64
+    x = ((x ^ (x >> 33)) * _MIX_2) & _M64
+    x ^= x >> 33
+    return x % _PRIME
+
 
 def _hash_token(token: str) -> int:
-    """BLAKE2b-derived hash of one canonical token string, memoized."""
+    """Scalar reference hash of one token string, memoized."""
     h = _TOKEN_CACHE.get(token)
     if h is None:
-        digest = hashlib.blake2b(token.encode(), digest_size=8).digest()
-        h = int.from_bytes(digest, "big") % _PRIME
+        h = _hash_token_raw(token)
         if len(_TOKEN_CACHE) < _TOKEN_CACHE_CAP:
             _TOKEN_CACHE[token] = h
     return h
 
 
+def _hash_token_batch(tokens: Sequence[str]) -> np.ndarray:
+    """Vectorized token hashing: bit-identical to ``map(_hash_token, ...)``.
+
+    Tokens are packed into one (n, max_len) byte matrix — built with a
+    single ``np.frombuffer`` reinterpretation of the concatenated buffer —
+    and the FNV-1a fold runs position-by-position across the whole batch,
+    so the per-token work is C-level regardless of batch size.
+    """
+    n = len(tokens)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n > _BATCH_CHUNK:
+        # per-token hashes are independent: chunking bounds the dense
+        # matrix without changing any value
+        return np.concatenate([
+            _hash_token_batch(tokens[lo:lo + _BATCH_CHUNK])
+            for lo in range(0, n, _BATCH_CHUNK)
+        ])
+    if max(map(len, tokens)) > _VECTORIZE_MAX_TOKEN:
+        # the fallback deliberately bypasses the memo: callers routed a
+        # large one-shot batch here precisely to keep it out of the cache
+        return np.fromiter(
+            map(_hash_token_raw, tokens), dtype=np.int64, count=n
+        )
+    joined = "\x1f".join(tokens)
+    data = joined.encode()
+    if len(data) == len(joined):
+        # pure-ASCII batch (the common case for canonical reprs): byte
+        # lengths equal character lengths, so one encode covers everything
+        # and the separators are simply ignored by the fold mask below.
+        lens = np.fromiter(map(len, tokens), dtype=np.int64, count=n)
+        flat = np.frombuffer(data + b"\x1f", dtype=np.uint8)
+        pad = 1  # each row also holds its trailing separator byte
+    else:
+        enc = [t.encode() for t in tokens]
+        lens = np.fromiter(map(len, enc), dtype=np.int64, count=n)
+        flat = np.frombuffer(b"".join(enc), dtype=np.uint8)
+        pad = 0
+    max_len = int(lens.max()) if n else 0
+    if max_len > _VECTORIZE_MAX_TOKEN:
+        # multibyte characters can push byte lengths past the cap even
+        # when character lengths sat below it
+        return np.fromiter(
+            map(_hash_token_raw, tokens), dtype=np.int64, count=n
+        )
+    cols = np.arange(max_len + pad)
+    fill_mask = cols[None, :] < (lens + pad)[:, None]
+    arr = np.zeros((n, max_len + pad), dtype=np.uint8)
+    arr[fill_mask] = flat  # row-major fill order == concatenation order
+    h = np.full(n, _FNV_OFFSET, dtype=np.uint64)
+    fnv_prime = np.uint64(_FNV_PRIME)
+    for i in range(max_len):
+        m = cols[i] < lens
+        h[m] = (h[m] ^ arr[m, i].astype(np.uint64)) * fnv_prime
+    thirty_three = np.uint64(33)
+    h = (h ^ (h >> thirty_three)) * np.uint64(_MIX_1)
+    h = (h ^ (h >> thirty_three)) * np.uint64(_MIX_2)
+    h ^= h >> thirty_three
+    return (h % np.uint64(_PRIME)).astype(np.int64)
+
+
+def hash_tokens(tokens: Sequence[str]) -> np.ndarray:
+    """Per-token hashes in ``[0, _PRIME)`` as an int64 array.
+
+    Small batches go through the memoized scalar reference; large batches
+    consult the memo in bulk and fall through to the vectorized fold on any
+    miss (then remember the batch, bounded by the cache cap).  Both routes
+    return bit-identical values.
+    """
+    n = len(tokens)
+    if n < _VECTORIZE_MIN:
+        return np.fromiter(map(_hash_token, tokens), dtype=np.int64, count=n)
+    if n > _MEMO_MAX_BATCH:
+        return _hash_token_batch(tokens)
+    cached = list(map(_TOKEN_CACHE.get, tokens))
+    if None not in cached:
+        return np.asarray(cached, dtype=np.int64)
+    # hash only the misses and scatter them back: on shared-vocabulary
+    # corpora a batch typically carries a handful of first-sight tokens
+    # among mostly memoized ones
+    miss_idx = [i for i, h in enumerate(cached) if h is None]
+    miss_hashes = _hash_token_batch([tokens[i] for i in miss_idx])
+    for i, h in zip(miss_idx, miss_hashes.tolist()):
+        cached[i] = h
+    if len(_TOKEN_CACHE) + len(miss_idx) <= _TOKEN_CACHE_CAP:
+        _TOKEN_CACHE.update((tokens[i], cached[i]) for i in miss_idx)
+    return np.asarray(cached, dtype=np.int64)
+
+
 def stable_hash(value: object) -> int:
     """Deterministic hash of a value's canonical string form, in [0, 2^31)."""
     return _hash_token(repr(value))
+
+
+#: (num_perm, seed) -> shared immutable permutation coefficient arrays;
+#: profiling sketches one column per MinHash, so re-deriving the same
+#: coefficients from a fresh generator per column was measurable overhead
+_PERM_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _permutations(num_perm: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    key = (num_perm, seed)
+    ab = _PERM_CACHE.get(key)
+    if ab is None:
+        rng = np.random.default_rng(seed)
+        a = rng.integers(1, _PRIME, size=num_perm, dtype=np.int64)
+        b = rng.integers(0, _PRIME, size=num_perm, dtype=np.int64)
+        a.setflags(write=False)
+        b.setflags(write=False)
+        ab = _PERM_CACHE[key] = (a, b)
+    return ab
 
 
 class MinHash:
@@ -53,32 +204,68 @@ class MinHash:
         if num_perm < 1:
             raise ValueError("num_perm must be >= 1")
         self.num_perm = num_perm
-        rng = np.random.default_rng(seed)
-        self._a = rng.integers(1, _PRIME, size=num_perm, dtype=np.int64)
-        self._b = rng.integers(0, _PRIME, size=num_perm, dtype=np.int64)
+        self._a, self._b = _permutations(num_perm, seed)
         self.signature = np.full(num_perm, _PRIME, dtype=np.int64)
+        #: distinct tokens folded in (per update call; duplicate tokens never
+        #: inflate it, so ``count == 0`` means "no value ever inserted" and
+        #: the emptiness semantics of :meth:`jaccard` are exact)
         self.count = 0
 
     def update(self, value: object) -> None:
         self.update_many([value])
 
     def update_many(self, values: Iterable[object]) -> None:
-        # canonicalize once, then deduplicate: repeated values cannot change
-        # a min, and distinct tokens hit the process-wide BLAKE2b memo, so
-        # bulk registration pays one digest per *new* token ever seen
-        tokens = [repr(v) for v in values]
-        if not tokens:
-            return
-        distinct = set(tokens)
-        hashes = np.fromiter(
-            (_hash_token(t) for t in distinct),
-            dtype=np.int64,
-            count=len(distinct),
+        """Fold values in by their canonical (``repr``) token strings."""
+        tokens = set(map(repr, values))
+        if tokens:
+            self._fold(hash_tokens(list(tokens)))
+            self.count += len(tokens)
+
+    def update_tokens(
+        self, tokens: Iterable[str], vectorize: bool = True
+    ) -> None:
+        """Fold pre-canonicalized token strings (the profiler's bulk entry
+        point — its columnar view already holds one ``repr`` per value).
+
+        ``vectorize=False`` forces the scalar reference hash for every
+        token; the default picks per batch.  Both produce identical
+        signatures (see module docstring).
+        """
+        distinct = (
+            tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
         )
-        # (k, n) matrix of universal hashes; min over values per permutation.
-        hashed = (self._a[:, None] * hashes[None, :] + self._b[:, None]) % _PRIME
-        np.minimum(self.signature, hashed.min(axis=1), out=self.signature)
-        self.count += len(tokens)
+        if not distinct:
+            return
+        batch = list(distinct)
+        if vectorize:
+            hashes = hash_tokens(batch)
+        else:
+            hashes = np.fromiter(
+                map(_hash_token, batch), dtype=np.int64, count=len(batch)
+            )
+        self._fold(hashes)
+        self.count += len(batch)
+
+    #: token-axis chunk width of the universal-hash fold: keeps the
+    #: (num_perm, chunk) temporaries cache-resident and reused instead of
+    #: allocating one num_perm×n matrix per operation on wide token sets
+    _FOLD_CHUNK = 4096
+
+    def _fold(self, hashes: np.ndarray) -> None:
+        # (k, n) matrix of universal hashes; min over values per permutation,
+        # computed chunk-wise into preallocated buffers (a*h+b < 2**62
+        # always fits int64).
+        a_col = self._a[:, None]
+        b_col = self._b[:, None]
+        chunk = self._FOLD_CHUNK
+        buf = np.empty((self.num_perm, min(chunk, len(hashes))), np.int64)
+        for lo in range(0, len(hashes), chunk):
+            part = hashes[lo:lo + chunk]
+            view = buf[:, : len(part)]
+            np.multiply(a_col, part[None, :], out=view)
+            view += b_col
+            np.mod(view, _PRIME, out=view)
+            np.minimum(self.signature, view.min(axis=1), out=self.signature)
 
     @classmethod
     def of(
@@ -86,6 +273,15 @@ class MinHash:
     ) -> "MinHash":
         mh = cls(num_perm=num_perm, seed=seed)
         mh.update_many(values)
+        return mh
+
+    @classmethod
+    def of_tokens(
+        cls, tokens: Iterable[str], num_perm: int = 64, seed: int = 7,
+        vectorize: bool = True,
+    ) -> "MinHash":
+        mh = cls(num_perm=num_perm, seed=seed)
+        mh.update_tokens(tokens, vectorize=vectorize)
         return mh
 
     def jaccard(self, other: "MinHash") -> float:
@@ -99,7 +295,8 @@ class MinHash:
         return float(np.mean(self.signature == other.signature))
 
     def merge(self, other: "MinHash") -> "MinHash":
-        """Signature of the union of both underlying sets."""
+        """Signature of the union of both underlying sets (``count`` becomes
+        an upper bound on the union's distinct insertions)."""
         if self.num_perm != other.num_perm:
             raise ValueError("signatures have different widths")
         merged = MinHash.__new__(MinHash)

@@ -1,0 +1,501 @@
+"""Columnar ingest fast path vs the scalar reference oracle.
+
+The tentpole guarantee: profiling, sketching and hashing through the
+memoized columnar view produce **bit-identical** outputs to the
+value-at-a-time scalar implementations, over randomized dtypes and edge
+shapes (nulls, non-ASCII strings, empty columns/relations, ``any``-typed
+containers)."""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.discovery.profiler import (
+    column_content_hash,
+    name_similarity,
+    profile_column,
+    profile_table,
+    set_columnar_profiling,
+)
+from repro.relation import Column, Relation
+from repro.sketches import CategoricalSummary, MinHash
+from repro.sketches.minhash import (
+    _VECTORIZE_MIN,
+    _hash_token,
+    _hash_token_batch,
+    _TOKEN_CACHE,
+    hash_tokens,
+)
+
+# ---------------------------------------------------------------------------
+# randomized relation generator
+# ---------------------------------------------------------------------------
+
+_WORDS = [
+    "oslo", "rome", "lima", "kyiv", "pune", "café", "außen", "ναι",
+    "data\x1fmarket", "a'b\"c", "", " ", "x" * 40,
+]
+
+
+def _random_value(rng: np.random.Generator, dtype: str):
+    if rng.random() < 0.15:
+        return None
+    if dtype == "int":
+        return int(rng.integers(-1000, 1000))
+    if dtype == "float":
+        return float(np.round(rng.normal() * 100, 3))
+    if dtype == "str":
+        return _WORDS[int(rng.integers(len(_WORDS)))] + str(
+            int(rng.integers(30))
+        )
+    if dtype == "bool":
+        return bool(rng.integers(2))
+    # "any": mixed scalars and containers
+    choice = int(rng.integers(4))
+    if choice == 0:
+        return [int(rng.integers(5)), "nested"]
+    if choice == 1:
+        return {"k": int(rng.integers(5))}
+    if choice == 2:
+        return float(rng.normal())
+    return _WORDS[int(rng.integers(len(_WORDS)))]
+
+
+def random_relation(seed: int, n_rows: int | None = None) -> Relation:
+    rng = np.random.default_rng(seed)
+    dtypes = ["int", "float", "str", "bool", "any"]
+    n_cols = int(rng.integers(1, 7))
+    cols = [
+        Column(
+            f"col_{i}",
+            dtypes[int(rng.integers(len(dtypes)))],
+            semantic="tag" if rng.random() < 0.2 else None,
+        )
+        for i in range(n_cols)
+    ]
+    if n_rows is None:
+        n_rows = int(rng.integers(0, 60))
+    rows = [
+        tuple(_random_value(rng, c.dtype) for c in cols)
+        for _ in range(n_rows)
+    ]
+    return Relation(f"rel_{seed}", cols, rows)
+
+
+def assert_profiles_identical(a, b):
+    assert a.dataset == b.dataset
+    assert a.n_rows == b.n_rows
+    assert a.content_hash == b.content_hash
+    assert len(a.columns) == len(b.columns)
+    for ca, cb in zip(a.columns, b.columns):
+        assert ca.column == cb.column
+        assert ca.content_hash == cb.content_hash, ca.column
+        assert ca.signature.digest() == cb.signature.digest(), ca.column
+        assert ca.signature.count == cb.signature.count, ca.column
+        # repr-compare: NumericSummary of an empty column carries NaNs,
+        # which dataclass equality would reject
+        assert repr(ca.numeric) == repr(cb.numeric), ca.column
+        assert ca.categorical == cb.categorical, ca.column
+        assert ca.distinct_fraction == cb.distinct_fraction, ca.column
+
+
+# ---------------------------------------------------------------------------
+# profiling equivalence
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(25))
+def test_columnar_profile_bit_identical_to_scalar_oracle(seed):
+    relation = random_relation(seed)
+    columnar = profile_table(relation, columnar=True)
+    scalar = profile_table(relation, columnar=False)
+    assert_profiles_identical(columnar, scalar)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_columnar_profile_identical_on_large_relations(seed):
+    """Relations past the single-counting-pass threshold (64 rows) engage
+    the fused Counter/dedup machinery — the small-relation tests above
+    take the direct per-value route, so both must be pinned."""
+    relation = random_relation(seed, n_rows=150)
+    columnar = profile_table(relation, columnar=True)
+    scalar = profile_table(relation, columnar=False)
+    assert_profiles_identical(columnar, scalar)
+
+
+def test_subclass_values_disable_dedup_and_stay_identical():
+    """Values that compare equal to builtins but repr differently (IntEnum,
+    str subclasses) must not be collapsed by the value-keyed dedup pass —
+    both modes and both row orders must agree."""
+    from enum import IntEnum
+
+    class Color(IntEnum):
+        RED = 1
+
+    class Tag(str):
+        def __repr__(self):  # pragma: no cover - repr only
+            return f"Tag({str.__repr__(self)})"
+
+    for rows in (
+        [(Color.RED,)] * 40 + [(1,)] * 40,
+        [(1,)] * 40 + [(Color.RED,)] * 40,
+    ):
+        relation = Relation("enums", [("c", "int")], rows)
+        assert column_content_hash(relation, "c", columnar=True) == (
+            column_content_hash(relation, "c", columnar=False)
+        )
+        assert_profiles_identical(
+            profile_table(relation, columnar=True),
+            profile_table(relation, columnar=False),
+        )
+    tagged = Relation(
+        "tags", [("s", "str")],
+        [(Tag("x"),)] * 40 + [("x",)] * 40,
+    )
+    assert column_content_hash(tagged, "s", columnar=True) == (
+        column_content_hash(tagged, "s", columnar=False)
+    )
+
+
+def test_columnar_profile_identical_on_duplicate_heavy_columns():
+    """Dup-heavy repr-stable columns exercise the value->repr fan-out."""
+    rng = np.random.default_rng(41)
+    cols = [
+        Column("cat", "str"), Column("small_int", "int"),
+        Column("flag", "bool"), Column("metric", "float"),
+    ]
+    vocab = ["red", "green", "blue", None]
+    rows = [
+        (
+            vocab[int(rng.integers(4))],
+            int(rng.integers(5)) if rng.random() > 0.1 else None,
+            bool(rng.integers(2)),
+            float(round(rng.normal(), 1)),
+        )
+        for _ in range(400)
+    ]
+    relation = Relation("dups", cols, rows)
+    assert_profiles_identical(
+        profile_table(relation, columnar=True),
+        profile_table(relation, columnar=False),
+    )
+
+
+def test_profile_of_empty_relation_matches():
+    relation = Relation("empty", [("a", "int"), ("b", "str")], [])
+    assert_profiles_identical(
+        profile_table(relation, columnar=True),
+        profile_table(relation, columnar=False),
+    )
+
+
+def test_profile_of_all_null_column_matches():
+    relation = Relation(
+        "nulls", [("a", "float"), ("b", "str")],
+        [(None, None)] * 8,
+    )
+    columnar = profile_table(relation, columnar=True)
+    assert_profiles_identical(
+        columnar, profile_table(relation, columnar=False)
+    )
+    assert columnar.column("a").distinct_fraction == 0.0
+    assert columnar.column("a").categorical.nulls == 8
+
+
+def test_column_content_hash_matches_legacy_stream():
+    """Both modes reproduce the historical per-value BLAKE2b stream."""
+    for seed in range(8):
+        relation = random_relation(seed)
+        for name in relation.columns:
+            h = hashlib.blake2b(digest_size=16)
+            for v in relation.column(name):
+                h.update(repr(v).encode())
+                h.update(b"\x1f")
+            legacy = h.hexdigest()
+            assert column_content_hash(relation, name, columnar=True) == legacy
+            assert column_content_hash(relation, name, columnar=False) == legacy
+
+
+def test_profile_signature_equals_minhash_of_raw_values():
+    """Profiler tokens are exactly the values' reprs, so a signature built
+    from the raw non-null values through the public API must agree."""
+    relation = random_relation(3, n_rows=40)
+    profile = profile_table(relation, columnar=True)
+    for name in relation.columns:
+        non_null = [v for v in relation.column(name) if v is not None]
+        assert profile.column(name).signature.digest() == MinHash.of(
+            non_null, num_perm=64
+        ).digest()
+
+
+def test_set_columnar_profiling_flips_module_default():
+    relation = random_relation(5)
+    previous = set_columnar_profiling(False)
+    try:
+        scalar_default = profile_table(relation)
+    finally:
+        set_columnar_profiling(previous)
+    assert_profiles_identical(
+        scalar_default, profile_table(relation, columnar=True)
+    )
+
+
+def test_profile_column_reuses_supplied_content_hash():
+    relation = random_relation(7, n_rows=10)
+    name = relation.columns[0]
+    profile = profile_column(relation, name, content_hash="sentinel")
+    assert profile.content_hash == "sentinel"
+
+
+# ---------------------------------------------------------------------------
+# vectorized token hashing
+# ---------------------------------------------------------------------------
+
+def test_hash_token_batch_bit_identical_to_scalar():
+    rng = np.random.default_rng(11)
+    tokens = [
+        repr(_random_value(rng, dtype))
+        for dtype in ("int", "float", "str", "any")
+        for _ in range(40)
+    ]
+    tokens += ["", "\x1f", "a\x1fb", "é" * 10, "x" * 600, "'quoted'"]
+    _TOKEN_CACHE.clear()
+    batched = _hash_token_batch(tokens)
+    _TOKEN_CACHE.clear()
+    scalar = [_hash_token(t) for t in tokens]
+    assert batched.tolist() == scalar
+
+
+def test_hash_tokens_routes_agree_across_batch_sizes():
+    rng = np.random.default_rng(13)
+    universe = [f"tok_{int(rng.integers(1_000_000)):06d}" for _ in range(300)]
+    small = universe[: _VECTORIZE_MIN - 1]
+    _TOKEN_CACHE.clear()
+    via_small = hash_tokens(small).tolist()
+    _TOKEN_CACHE.clear()
+    via_large = hash_tokens(universe).tolist()[: len(small)]
+    assert via_small == via_large
+    # memo round-trip: a second call is served from cache, identically
+    assert hash_tokens(universe).tolist()[: len(small)] == via_small
+
+
+def test_huge_batches_are_chunked_identically(monkeypatch):
+    from repro.sketches import minhash as mh
+
+    monkeypatch.setattr(mh, "_BATCH_CHUNK", 32)
+    tokens = [f"tok_{i:05d}" for i in range(101)]
+    _TOKEN_CACHE.clear()
+    chunked = _hash_token_batch(tokens)
+    _TOKEN_CACHE.clear()
+    assert chunked.tolist() == [_hash_token(t) for t in tokens]
+
+
+def test_non_ascii_batch_falls_back_consistently():
+    tokens = [f"ключ_{i}" for i in range(_VECTORIZE_MIN + 10)]
+    _TOKEN_CACHE.clear()
+    batched = _hash_token_batch(tokens)
+    _TOKEN_CACHE.clear()
+    assert batched.tolist() == [_hash_token(t) for t in tokens]
+
+
+def test_oversized_token_fallback_skips_memo(monkeypatch):
+    from repro.sketches import minhash as mh
+
+    monkeypatch.setattr(mh, "_MEMO_MAX_BATCH", 8)
+    tokens = [f"t{i}" for i in range(_VECTORIZE_MIN + 6)] + ["x" * 600]
+    _TOKEN_CACHE.clear()
+    hashed = hash_tokens(tokens)
+    # a one-shot batch routed around the memo must not populate it
+    assert not _TOKEN_CACHE
+    assert hashed.tolist() == [_hash_token(t) for t in tokens]
+
+
+def test_any_dtype_cells_with_array_equality_profile_identically():
+    """``any``-typed cells whose __eq__ is non-boolean (numpy arrays)
+    must profile through both paths — null counting is identity-based."""
+    relation = Relation(
+        "arrays", [("x", "any"), ("y", "int")],
+        [(np.array([1, 2]), 1), (None, 2), (np.array([3, 4]), None)],
+    )
+    assert_profiles_identical(
+        profile_table(relation, columnar=True),
+        profile_table(relation, columnar=False),
+    )
+
+
+def test_content_hash_alone_does_not_pin_text_caches():
+    """Hashing a relation that is not mid-profiling (e.g. the arbiter
+    fingerprinting a cached mashup) must not leave per-cell repr strings
+    pinned on the relation."""
+    relation = Relation(
+        "plain", [("a", "int"), ("b", "str")],
+        [(i, f"v{i % 7}") for i in range(100)],
+    )
+    legacy = _legacy_relation_content_hash(relation)
+    assert relation.content_hash() == legacy
+    view = relation._columnar
+    assert view is not None and not view._reprs and not view._counts
+    # profiling afterwards still works and agrees
+    assert profile_table(relation).content_hash == legacy
+
+
+# ---------------------------------------------------------------------------
+# relation-level fast paths
+# ---------------------------------------------------------------------------
+
+def _legacy_relation_content_hash(relation: Relation) -> str:
+    from repro.relation.relation import _freeze_row
+
+    h = hashlib.sha256()
+    h.update(repr(relation.schema).encode())
+    for row in sorted(map(repr, map(_freeze_row, relation.rows))):
+        h.update(row.encode())
+    return h.hexdigest()
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_relation_content_hash_matches_legacy_and_memoizes(seed):
+    relation = random_relation(seed)
+    legacy = _legacy_relation_content_hash(relation)
+    assert relation.content_hash() == legacy
+    assert relation.content_hash() == legacy  # memoized second call
+
+
+def test_single_column_relation_content_hash_matches_legacy():
+    relation = Relation("one", [("a", "str")], [("x",), ("y",), ("x",)])
+    assert relation.content_hash() == _legacy_relation_content_hash(relation)
+
+
+def test_projection_and_column_match_row_loop():
+    for seed in range(8):
+        relation = random_relation(seed)
+        names = list(relation.columns)[::-1][:2]
+        projected = relation.project(names)
+        idx = relation.schema.positions(names)
+        assert list(projected.rows) == [
+            tuple(row[i] for i in idx) for row in relation.rows
+        ]
+        assert projected.provenance == relation.provenance
+        for name in relation.columns:
+            i = relation.schema.position(name)
+            assert relation.column(name) == [r[i] for r in relation.rows]
+
+
+def test_project_empty_names_keeps_row_count():
+    relation = random_relation(2, n_rows=5)
+    projected = relation.project([])
+    assert len(projected) == 5
+    assert projected.rows == ((),) * 5
+
+
+def test_distinct_fast_path_matches_freeze_path():
+    rows = [(1, "a"), (1, "a"), (2, "b"), (1, "a"), (None, None)]
+    scalar_rel = Relation("s", [("x", "int"), ("y", "str")], rows)
+    any_rel = Relation("s", [("x", "any"), ("y", "any")], rows)
+    ds, da = scalar_rel.distinct(), any_rel.distinct()
+    assert ds.rows == da.rows
+    assert [repr(p) for p in ds.provenance] == [repr(p) for p in da.provenance]
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes: O(1) TableProfile.column, memoized name_similarity,
+#                  heavy-hitter selection
+# ---------------------------------------------------------------------------
+
+def test_release_text_drops_and_rebuilds_caches():
+    relation = random_relation(9, n_rows=100)
+    view = relation.columnar
+    before = {
+        n: column_content_hash(relation, n) for n in relation.columns
+    }
+    assert view._reprs
+    view.release_text()
+    assert not view._reprs and not view._counts
+    # rebuilt lazily, bit-identically
+    after = {
+        n: column_content_hash(relation, n) for n in relation.columns
+    }
+    assert after == before
+
+
+def test_metadata_register_releases_text_caches():
+    from repro.discovery.metadata import MetadataEngine
+
+    relation = random_relation(4, n_rows=100)
+    engine = MetadataEngine()
+    engine.register(relation)
+    view = relation._columnar
+    assert view is not None
+    assert not view._reprs and not view._counts
+    assert relation.column(relation.columns[0]) is not None  # still works
+
+
+def test_table_profile_column_lookup_is_mapping_backed():
+    relation = random_relation(1, n_rows=12)
+    profile = profile_table(relation)
+    for c in profile.columns:
+        assert profile.column(c.column) is c
+    with pytest.raises(KeyError):
+        profile.column("nope")
+    # the mapping is built once and reused
+    assert profile._by_name is profile._by_name
+
+
+def _reference_name_similarity(a: str, b: str) -> float:
+    from difflib import SequenceMatcher
+
+    na = a.lower().replace("-", "_").strip("_")
+    nb = b.lower().replace("-", "_").strip("_")
+    if na == nb:
+        return 1.0
+    tokens_a, tokens_b = set(na.split("_")), set(nb.split("_"))
+    token_sim = (
+        len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+        if tokens_a | tokens_b
+        else 0.0
+    )
+    char_sim = SequenceMatcher(None, na, nb).ratio()
+    return max(token_sim, char_sim)
+
+
+def test_name_similarity_matches_unguarded_reference():
+    # permuted token sets decide the max without SequenceMatcher
+    assert name_similarity("user_id", "id_user") == 1.0
+    assert name_similarity("User-ID", "user_id") == 1.0
+    assert name_similarity("", "") == 1.0
+    rng = np.random.default_rng(17)
+    parts = ["user", "id", "name", "city", "event", "time", "score", "x"]
+    for _ in range(300):
+        a = "_".join(
+            parts[int(i)] for i in rng.integers(len(parts), size=rng.integers(1, 4))
+        )
+        b = "-".join(
+            parts[int(i)] for i in rng.integers(len(parts), size=rng.integers(1, 4))
+        )
+        assert name_similarity(a, b) == _reference_name_similarity(a, b)
+        assert name_similarity(a, b) == name_similarity(a, b)  # memo stable
+
+
+def test_of_counts_equals_full_sort_reference():
+    rng = np.random.default_rng(23)
+    for trial in range(40):
+        n = int(rng.integers(1, 300))
+        freq = Counter(
+            {f"v{int(i):04d}": int(c) for i, c in zip(
+                rng.choice(10_000, size=n, replace=False),
+                rng.integers(1, 6, size=n),
+            )}
+        )
+        got = CategoricalSummary.of_counts(freq, nulls=3)
+        want_top = tuple(
+            sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        )
+        assert got.top == want_top, trial
+        assert got.count == sum(freq.values())
+        assert got.distinct == n
+        assert got.nulls == 3
+        values = [v for v, c in freq.items() for _ in range(c)]
+        assert got == CategoricalSummary.of(values + [None] * 3)

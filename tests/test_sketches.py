@@ -168,9 +168,26 @@ def test_minhash_single_value_and_all_duplicates():
     single = MinHash.of(["x"], num_perm=64)
     dups = MinHash(num_perm=64)
     dups.update_many(["x"] * 50)  # all-duplicate column
-    assert dups.count == 50  # counts updates, not distinct values
+    # regression: duplicates used to inflate ``count`` (50 here), skewing
+    # the emptiness semantics ``jaccard`` keys on — it now tracks distinct
+    # insertions
+    assert dups.count == 1
     assert single.jaccard(dups) == 1.0
     assert single.jaccard(MinHash.of(["y"], num_perm=64)) == 0.0
+
+
+def test_minhash_count_tracks_distinct_insertions():
+    mh = MinHash(num_perm=32)
+    mh.update_many(["a", "a", "b", "b", "b"])
+    assert mh.count == 2
+    mh.update_many(["c"] * 10)
+    assert mh.count == 3
+    # an all-duplicate merge partner keeps the union non-empty, not "50 big"
+    other = MinHash(num_perm=32)
+    other.update_many(["a"] * 7)
+    assert other.count == 1
+    assert mh.merge(other).count == 4  # upper bound on distinct insertions
+    assert mh.jaccard(other) > 0.0
 
 
 def test_lsh_indexes_degenerate_signatures():
