@@ -48,11 +48,18 @@ from .market import (
 from .mashup import MashupBuilder
 from .platform import (
     DataMarket,
+    DisputeResult,
+    InfoRequestView,
+    InsuranceQuote,
+    InsuranceSettlement,
+    NegotiationReport,
     PlanResult,
     RegisterResult,
     RetireResult,
     RoundReport,
     SearchResult,
+    TrustDistribution,
+    TrustReport,
     WTPReceipt,
 )
 from .relation import Column, Relation, Schema
@@ -68,6 +75,13 @@ __all__ = [
     "PlanResult",
     "WTPReceipt",
     "RoundReport",
+    "NegotiationReport",
+    "InfoRequestView",
+    "DisputeResult",
+    "InsuranceQuote",
+    "InsuranceSettlement",
+    "TrustReport",
+    "TrustDistribution",
     "Arbiter",
     "SellerPlatform",
     "BuyerPlatform",

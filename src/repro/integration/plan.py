@@ -6,31 +6,36 @@ record of that combination — Section 4.4 requires that "buyers may request
 transparent access to the mashup building process to understand the original
 datasets that contribute to the mashup", which is exactly ``plan.describe()``.
 
-Execution resolves dataset names through a caller-supplied resolver, renames
-every incoming column to a qualified ``dataset__column`` form (so arbitrary
-join trees never clash), applies joins and synthesized transforms, and
-finally projects/renames to the buyer's requested attribute names.
-Provenance flows through untouched, which is what lets the revenue-sharing
-engine split the sale price over contributing datasets afterwards.
+Execution is **lazy**: :meth:`MashupPlan.build_tree` resolves dataset names
+through a caller-supplied resolver, renames every incoming column to a
+qualified ``dataset__column`` form (so arbitrary join trees never clash),
+and assembles joins, synthesized transforms and the final
+projection/rename into an immutable expression tree — nothing touches the
+rows until the tree is collected (:meth:`MashupPlan.run`, or
+``Mashup.relation`` on first access).  Provenance flows through untouched,
+which is what lets the revenue-sharing engine split the sale price over
+contributing datasets afterwards.  The eager :meth:`MashupPlan.execute` is
+kept as a deprecation shim over the iteration engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..errors import IntegrationError
+from ..errors import IntegrationError, ReproDeprecationWarning
 from .synthesis import MappingFunction
-from ..relation import Column, Relation
+from ..relation import Column, Relation, RelationExpr
 
 
 def qualified(dataset: str, column: str) -> str:
     return f"{dataset}__{column}"
 
 
-def _qualify(relation: Relation) -> Relation:
+def _qualify(relation: Relation) -> RelationExpr:
     mapping = {n: qualified(relation.name, n) for n in relation.columns}
-    return relation.rename(mapping)
+    return relation.lazy().rename(mapping)
 
 
 @dataclass(frozen=True)
@@ -101,14 +106,19 @@ class MashupPlan:
         lines.append(f"project: {out}")
         return "\n".join(lines)
 
-    def execute(self, resolver: Callable[[str], Relation],
-                name: str = "mashup") -> Relation:
-        """Run the plan.  ``resolver`` maps dataset name -> Relation."""
-        rel = _qualify(resolver(self.base))
+    def build_tree(self, resolver: Callable[[str], Relation],
+                   name: str = "mashup") -> RelationExpr:
+        """Assemble the plan into a lazy expression tree (nothing runs).
+
+        ``resolver`` maps dataset name -> Relation.  Plan-consistency
+        errors (missing join columns, transform sources, output columns)
+        are raised here, at tree-construction time, exactly as the eager
+        executor raised them."""
+        tree = _qualify(resolver(self.base))
         for step in self.joins:
             right = _qualify(resolver(step.dataset))
             for left_col, right_col in step.pairs:
-                if left_col not in rel.schema:
+                if left_col not in tree.schema:
                     raise IntegrationError(
                         f"join column {left_col!r} missing from running "
                         f"mashup (plan is inconsistent)"
@@ -118,47 +128,112 @@ class MashupPlan:
                         f"join column {right_col!r} missing from dataset "
                         f"{step.dataset!r}"
                     )
-            rel = rel.join(right, on=list(step.pairs), keep_right=True)
+            tree = tree.join(right, on=list(step.pairs), keep_right=True)
         for step in self.transforms:
-            if step.source_column not in rel.schema:
+            if step.source_column not in tree.schema:
                 raise IntegrationError(
                     f"transform source {step.source_column!r} missing"
                 )
             src = step.source_column
             mapping = step.mapping
-            rel = rel.extend(
+            tree = tree.extend(
                 Column(step.output_column, "any"),
                 lambda row, _src=src, _m=mapping: (
                     None if row[_src] is None else _m.apply(row[_src])
                 ),
+                columns=(src,),
             )
         # final projection: rename qualified columns to requested names
         missing = [
-            src for src in self.output.values() if src not in rel.schema
+            src for src in self.output.values() if src not in tree.schema
         ]
         if missing:
             raise IntegrationError(
                 f"plan output references missing columns: {missing}"
             )
-        projected = rel.project(list(self.output.values()))
+        projected = tree.project(list(self.output.values()))
         rename = {
             src: attr
             for attr, src in self.output.items()
             if src != attr
         }
-        return projected.rename(rename).renamed(name)
+        return projected.rename(rename).relabel(name)
+
+    def run(self, resolver: Callable[[str], Relation],
+            name: str = "mashup", engine=None) -> Relation:
+        """Build the plan's tree and collect it on ``engine`` (an engine
+        name, instance, or None for the default)."""
+        return self.build_tree(resolver, name).collect(engine)
+
+    def execute(self, resolver: Callable[[str], Relation],
+                name: str = "mashup") -> Relation:
+        """Deprecated eager executor: use :meth:`build_tree` /
+        :meth:`run` (the tree API) instead."""
+        warnings.warn(
+            "MashupPlan.execute is deprecated: build a lazy tree with "
+            "build_tree() and collect it (or call run()) instead",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(resolver, name, engine="iteration")
 
 
-@dataclass
 class Mashup:
-    """A materialized mashup: the plan, its result, and match metadata."""
+    """A mashup: the plan, its (lazily evaluated) result, and match data.
 
-    plan: MashupPlan
-    relation: Relation
-    #: requested attribute -> (dataset, column, score) it was matched to
-    matched: dict[str, tuple[str, str, float]]
-    #: requested attributes nobody could supply (negotiation targets)
-    missing: tuple[str, ...] = ()
+    The result is carried as an unevaluated expression tree; the first
+    access to :attr:`relation` collects it (memoized — also shared with
+    plan-cache copies holding the same tree).  Constructing a mashup from
+    an already-materialized ``relation`` still works: it becomes a leaf
+    tree with the relation pre-attached.
+    """
+
+    def __init__(
+        self,
+        plan: MashupPlan,
+        relation: Relation | None = None,
+        matched: dict[str, tuple[str, str, float]] | None = None,
+        missing: tuple[str, ...] = (),
+        tree: RelationExpr | None = None,
+        engine=None,
+    ):
+        if tree is None:
+            if relation is None:
+                raise IntegrationError(
+                    "a Mashup needs a result tree (or a materialized "
+                    "relation)"
+                )
+            tree = relation.lazy()
+        self.plan = plan
+        #: the unevaluated result (collected on first ``relation`` access)
+        self.tree = tree
+        #: requested attribute -> (dataset, column, score) it was matched to
+        self.matched: dict[str, tuple[str, str, float]] = dict(matched or {})
+        #: requested attributes nobody could supply (negotiation targets)
+        self.missing = tuple(missing)
+        self.engine = engine
+        self._relation = relation
+
+    @property
+    def relation(self) -> Relation:
+        """The materialized result (collected on first access)."""
+        rel = self._relation
+        if rel is None:
+            rel = self._relation = self.collect()
+        return rel
+
+    @property
+    def materialized(self) -> bool:
+        """True once the result tree has been collected."""
+        return self._relation is not None
+
+    def collect(self, engine=None) -> Relation:
+        """Materialize the result tree (``engine`` overrides the default;
+        engines are bit-identical, so the memoized result is shared)."""
+        rel = self.tree.collect(engine if engine is not None else self.engine)
+        if self._relation is None:
+            self._relation = rel
+        return rel
 
     @property
     def coverage(self) -> float:
@@ -167,3 +242,10 @@ class Mashup:
 
     def sources(self) -> list[str]:
         return self.plan.sources()
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.materialized else "lazy"
+        return (
+            f"Mashup(base={self.plan.base!r}, sources={self.sources()}, "
+            f"{state})"
+        )

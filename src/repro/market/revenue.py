@@ -94,7 +94,7 @@ def shapley_shares(
         if partial is None:
             return 0.0
         try:
-            relation = partial.execute(resolver)
+            relation = partial.run(resolver)
         except IntegrationError:
             return 0.0
         if len(relation) == 0:

@@ -71,6 +71,11 @@ class DataTrust:
     def members(self) -> list[str]:
         return sorted({c.member for c in self._contributions})
 
+    @property
+    def total_rows(self) -> int:
+        """Pooled rows across all contributions."""
+        return len(self._rows)
+
     def member_of_row(self, row_id: int) -> str:
         for c in self._contributions:
             if c.start <= row_id < c.end:

@@ -39,7 +39,7 @@ class MashupBuilder:
         self, num_perm: int = 64, min_overlap: float = 0.5,
         incremental: bool = True, exhaustive: bool = False,
         beam_width: int | None = None, plan_cache: bool = True,
-        plan_cache_size: int = 128,
+        plan_cache_size: int = 128, exec_engine: str = "columnar",
     ):
         self.metadata = MetadataEngine(num_perm=num_perm)
         self.index = IndexBuilder(
@@ -50,6 +50,7 @@ class MashupBuilder:
             self.metadata, self.index, self.discovery,
             exhaustive=exhaustive, beam_width=beam_width,
             plan_cache=plan_cache, plan_cache_size=plan_cache_size,
+            exec_engine=exec_engine,
         )
         self._gap_demand: dict[str, int] = {}
         self._hints: list[TransformHint] = []

@@ -2,15 +2,24 @@
 
 :class:`DataMarket` wires the whole stack behind one typed API; the result
 dataclasses stamp every read with the graph version it was computed against.
+Plan results carry unevaluated relation trees — ``materialize`` (or
+``PlanResult.collect``) runs them on the pipelined columnar engine.
 """
 
 from .market import DataMarket
 from .results import (
+    DisputeResult,
+    InfoRequestView,
+    InsuranceQuote,
+    InsuranceSettlement,
+    NegotiationReport,
     PlanResult,
     RegisterResult,
     RetireResult,
     RoundReport,
     SearchResult,
+    TrustDistribution,
+    TrustReport,
     WTPReceipt,
 )
 
@@ -22,4 +31,11 @@ __all__ = [
     "PlanResult",
     "WTPReceipt",
     "RoundReport",
+    "NegotiationReport",
+    "InfoRequestView",
+    "DisputeResult",
+    "InsuranceQuote",
+    "InsuranceSettlement",
+    "TrustReport",
+    "TrustDistribution",
 ]

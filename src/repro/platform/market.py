@@ -44,20 +44,33 @@ from ..errors import (
     DatasetNotFoundError,
     DuplicateDatasetError,
     InvalidRequestError,
+    UnknownParticipantError,
 )
+from ..integration import TransformHint
 from ..integration.dod import MashupRequest, PlanCacheStats, PlannerStats
 from ..market.arbiter import Arbiter, Delivery
 from ..market.design import MarketDesign, external_market
+from ..market.disputes import DisputeDesk, DisputeKind
+from ..market.insurance import InsuranceDesk
 from ..market.licensing import ContextualIntegrityPolicy, License
+from ..market.negotiation import InfoRequest
+from ..market.trusts import DataTrust
 from ..mashup import MashupBuilder
-from ..relation import Relation
+from ..relation import Relation, Schema
 from ..wtp import WTPFunction
 from .results import (
+    DisputeResult,
+    InfoRequestView,
+    InsuranceQuote,
+    InsuranceSettlement,
+    NegotiationReport,
     PlanResult,
     RegisterResult,
     RetireResult,
     RoundReport,
     SearchResult,
+    TrustDistribution,
+    TrustReport,
     WTPReceipt,
 )
 
@@ -97,8 +110,10 @@ class DataMarket:
         beam_width: int | None = None,
         plan_cache: bool = True,
         plan_cache_size: int = 128,
+        exec_engine: str = "columnar",
     ):
         self.design = design if design is not None else external_market()
+        self.exec_engine = exec_engine
         self.arbiter = Arbiter(
             self.design,
             builder=MashupBuilder(
@@ -109,9 +124,13 @@ class DataMarket:
                 beam_width=beam_width,
                 plan_cache=plan_cache,
                 plan_cache_size=plan_cache_size,
+                exec_engine=exec_engine,
             ),
         )
         self._rounds = 0
+        self._dispute_desk: DisputeDesk | None = None
+        self._insurance_desk: InsuranceDesk | None = None
+        self._trusts: dict[str, DataTrust] = {}
 
     # -- internal layer, exposed read-only for observability ---------------
     @property
@@ -153,6 +172,29 @@ class DataMarket:
     @property
     def negotiation(self):
         return self.arbiter.negotiation
+
+    @property
+    def disputes(self) -> DisputeDesk:
+        """The dispute desk, adjudicating against this market's own
+        audit log, lineage store and ledger (built on first use)."""
+        if self._dispute_desk is None:
+            self._dispute_desk = DisputeDesk(
+                self.ledger, self.audit, self.lineage
+            )
+        return self._dispute_desk
+
+    @property
+    def insurance(self) -> InsuranceDesk:
+        """The data-insurance desk, settling through this market's ledger
+        (built on first use)."""
+        if self._insurance_desk is None:
+            self._insurance_desk = InsuranceDesk(self.ledger)
+        return self._insurance_desk
+
+    @property
+    def trusts(self) -> tuple[str, ...]:
+        """Names of the data trusts hosted on this platform."""
+        return tuple(sorted(self._trusts))
 
     @property
     def recommendations(self):
@@ -306,6 +348,277 @@ class DataMarket:
             key=key,
             mashups=tuple(mashups),
             cached=self.planner_stats.cache_hit,
+            as_of=self.graph_version,
+        )
+
+    def materialize(
+        self, result: PlanResult, engine: str | None = None
+    ) -> tuple[Relation, ...]:
+        """Run a :class:`PlanResult`'s unevaluated trees and return the
+        relations, best mashup first.  ``engine`` picks the execution
+        engine (``"columnar"`` / ``"iteration"``); None uses the
+        market's ``exec_engine``.  Engines are bit-identical, and results
+        are memoized on the mashups."""
+        return result.collect(engine)
+
+    # -- negotiation (Section 4.1) -----------------------------------------
+    def _request_view(self, request: InfoRequest) -> InfoRequestView:
+        return InfoRequestView(
+            request_id=request.request_id,
+            attribute=request.attribute,
+            description=request.description,
+            bounty=request.bounty,
+            status=request.status.value,
+            fulfilled_by=request.fulfilled_by,
+            as_of=self.graph_version,
+        )
+
+    def publish_gaps(self) -> NegotiationReport:
+        """Turn the builder's demand gap report into open info requests
+        with demand-proportional bounties."""
+        demand = self.arbiter.builder.gap_report().demand
+        requests = self.negotiation.publish_gaps(demand)
+        return NegotiationReport(
+            requests=tuple(self._request_view(r) for r in requests),
+            as_of=self.graph_version,
+        )
+
+    def open_info_requests(self) -> NegotiationReport:
+        """All currently open information requests."""
+        return NegotiationReport(
+            requests=tuple(
+                self._request_view(r)
+                for r in self.negotiation.open_requests()
+            ),
+            as_of=self.graph_version,
+        )
+
+    def respond_with_hint(
+        self, request_id: int, seller: str, hint: TransformHint
+    ) -> InfoRequestView:
+        """A seller explains how an existing column maps to the requested
+        attribute; the hint joins the planner's standing hints (and its
+        content is part of the plan-cache key) immediately."""
+        request = self.negotiation.respond_with_hint(request_id, seller, hint)
+        self.arbiter.builder.add_hint(hint)
+        return self._request_view(request)
+
+    def respond_with_dataset(
+        self,
+        request_id: int,
+        seller: str,
+        relation: Relation,
+        *,
+        reserve_price: float = 0.0,
+        license: License | None = None,
+        policy: ContextualIntegrityPolicy | None = None,
+    ) -> InfoRequestView:
+        """An opportunistic seller supplies a new dataset carrying the
+        requested attribute: the request closes and the dataset is
+        registered (or refreshed) in one step."""
+        request = self.negotiation.respond_with_dataset(
+            request_id, seller, relation
+        )
+        if relation.name in self.arbiter.licenses:
+            self.update_dataset(
+                relation, seller, reserve_price=reserve_price,
+                license=license, policy=policy,
+            )
+        else:
+            self.register_dataset(
+                relation, seller, reserve_price=reserve_price,
+                license=license, policy=policy,
+            )
+        return self._request_view(request)
+
+    # -- disputes (Section 4.4) --------------------------------------------
+    def _dispute_view(self, dispute) -> DisputeResult:
+        return DisputeResult(
+            dispute_id=dispute.dispute_id,
+            complainant=dispute.complainant,
+            kind=dispute.kind.value,
+            transaction_id=dispute.transaction_id,
+            claimed_amount=dispute.claimed_amount,
+            status=dispute.status.value,
+            resolution=dispute.resolution,
+            refund=dispute.refund,
+            as_of=self.graph_version,
+        )
+
+    def file_dispute(
+        self,
+        complainant: str,
+        kind: str | DisputeKind,
+        transaction_id: int,
+        claimed_amount: float,
+    ) -> DisputeResult:
+        """File a dispute (``"not_delivered"`` / ``"overcharged"`` /
+        ``"unpaid_share"``) to be adjudicated against the market's own
+        audit and lineage records."""
+        if not isinstance(kind, DisputeKind):
+            try:
+                kind = DisputeKind(kind)
+            except ValueError:
+                valid = ", ".join(k.value for k in DisputeKind)
+                raise InvalidRequestError(
+                    f"unknown dispute kind {kind!r}; expected one of {valid}"
+                ) from None
+        dispute = self.disputes.file(
+            complainant, kind, transaction_id, claimed_amount
+        )
+        return self._dispute_view(dispute)
+
+    def resolve_dispute(self, dispute_id: int) -> DisputeResult:
+        """Adjudicate a filed dispute from the audit/lineage evidence;
+        an upheld claim refunds through the ledger."""
+        return self._dispute_view(self.disputes.resolve(dispute_id))
+
+    def open_disputes(self) -> tuple[DisputeResult, ...]:
+        return tuple(
+            self._dispute_view(d) for d in self.disputes.open_disputes()
+        )
+
+    # -- insurance (Section 7.1) -------------------------------------------
+    def underwrite_insurance(
+        self,
+        dataset: str,
+        insured: str,
+        *,
+        liability: float,
+        breach_probability: float,
+        loading: float = 0.25,
+    ) -> InsuranceQuote:
+        """Underwrite a policy on a *registered* dataset for a *known*
+        participant; premiums and payouts settle through the ledger."""
+        if dataset not in self.arbiter.licenses:
+            raise DatasetNotFoundError(
+                f"cannot insure unregistered dataset {dataset!r}"
+            )
+        if insured not in self.ledger:
+            raise UnknownParticipantError(
+                f"insured party {insured!r} is not registered"
+            )
+        policy = self.insurance.underwrite(
+            dataset, insured, liability, breach_probability, loading
+        )
+        return InsuranceQuote(
+            policy_id=policy.policy_id,
+            dataset=policy.dataset,
+            insured=policy.insured,
+            liability=policy.liability,
+            breach_probability=policy.breach_probability,
+            loading=policy.loading,
+            premium=policy.premium,
+            active=policy.active,
+            as_of=self.graph_version,
+        )
+
+    def collect_premium(self, policy_id: int) -> InsuranceSettlement:
+        amount = self.insurance.collect_premium(policy_id)
+        return InsuranceSettlement(
+            policy_id=policy_id,
+            insured=self.insurance.policy(policy_id).insured,
+            kind="premium",
+            amount=amount,
+            solvency=self.insurance.solvency(),
+            as_of=self.graph_version,
+        )
+
+    def file_insurance_claim(self, policy_id: int) -> InsuranceSettlement:
+        """A breach occurred: pay out the liability, retire the policy."""
+        amount = self.insurance.file_claim(policy_id)
+        return InsuranceSettlement(
+            policy_id=policy_id,
+            insured=self.insurance.policy(policy_id).insured,
+            kind="claim",
+            amount=amount,
+            solvency=self.insurance.solvency(),
+            as_of=self.graph_version,
+        )
+
+    # -- data trusts (Section 4.5) -----------------------------------------
+    def _trust(self, name: str) -> DataTrust:
+        try:
+            return self._trusts[name]
+        except KeyError:
+            raise DatasetNotFoundError(
+                f"no data trust named {name!r} on this platform"
+            ) from None
+
+    def _trust_report(self, trust: DataTrust) -> TrustReport:
+        return TrustReport(
+            trust=trust.name,
+            members=tuple(trust.members),
+            rows=trust.total_rows,
+            as_of=self.graph_version,
+        )
+
+    def create_trust(self, name: str, schema: Schema | list) -> TrustReport:
+        """Open a member coalition pooling personal data under ``name``
+        (which is also the dataset name it will sell under)."""
+        if name in self._trusts:
+            raise DuplicateDatasetError(
+                f"a data trust named {name!r} already exists"
+            )
+        if name in self.arbiter.licenses:
+            raise DuplicateDatasetError(
+                f"dataset name {name!r} is already live on the market"
+            )
+        trust = DataTrust(name, schema)
+        self._trusts[name] = trust
+        return self._trust_report(trust)
+
+    def contribute_to_trust(
+        self, trust: str, member: str, relation: Relation
+    ) -> TrustReport:
+        """Pool one member's rows into the trust."""
+        t = self._trust(trust)
+        t.contribute(member, relation)
+        return self._trust_report(t)
+
+    def offer_trust_dataset(
+        self,
+        trust: str,
+        *,
+        reserve_price: float = 0.0,
+        license: License | None = None,
+        policy: ContextualIntegrityPolicy | None = None,
+    ) -> RegisterResult:
+        """Put the trust's pooled dataset on the market (the trust itself
+        is the seller of record)."""
+        t = self._trust(trust)
+        pooled = t.pooled_dataset()
+        if pooled.name in self.arbiter.licenses:
+            return self.update_dataset(
+                pooled, t.name, reserve_price=reserve_price,
+                license=license, policy=policy,
+            )
+        return self.register_dataset(
+            pooled, t.name, reserve_price=reserve_price,
+            license=license, policy=policy,
+        )
+
+    def distribute_trust_revenue(
+        self, trust: str, sold_mashup: Relation, amount: float
+    ) -> TrustDistribution:
+        """Split revenue earned by a sold mashup over trust members in
+        proportion to the provenance shares of the rows they contributed,
+        and move the money from the trust's account to the members'."""
+        t = self._trust(trust)
+        payouts = t.distribute(sold_mashup, amount)
+        self.ledger.ensure_account(t.name)
+        for member, value in sorted(payouts.items()):
+            if value <= 0:
+                continue
+            self.ledger.ensure_account(member)
+            self.ledger.transfer(
+                t.name, member, value,
+                memo=f"trust {t.name} revenue share",
+            )
+        return TrustDistribution(
+            trust=t.name,
+            amount=amount,
+            payouts=tuple(sorted(payouts.items())),
             as_of=self.graph_version,
         )
 

@@ -2,6 +2,15 @@
 
 from .columnar import ColumnarView
 from .csvio import read_csv, read_csv_dir, read_csv_text, write_csv
+from .engines import (
+    DEFAULT_ENGINE,
+    ColumnarEngine,
+    Engine,
+    IterationEngine,
+    Processor,
+    get_engine,
+    push_down,
+)
 from .provenance import (
     ProvExpr,
     ProvOne,
@@ -18,12 +27,39 @@ from .provenance import (
 )
 from .relation import Relation
 from .schema import Column, Schema
+from .tree import (
+    Distinct,
+    Extend,
+    Join,
+    Label,
+    LeafRelation,
+    Project,
+    RelationExpr,
+    Rename,
+    Select,
+)
 
 __all__ = [
     "Column",
     "ColumnarView",
     "Schema",
     "Relation",
+    "RelationExpr",
+    "LeafRelation",
+    "Project",
+    "Select",
+    "Distinct",
+    "Rename",
+    "Label",
+    "Extend",
+    "Join",
+    "Engine",
+    "IterationEngine",
+    "ColumnarEngine",
+    "Processor",
+    "get_engine",
+    "push_down",
+    "DEFAULT_ENGINE",
     "ProvExpr",
     "ProvToken",
     "ProvOne",

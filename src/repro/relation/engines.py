@@ -1,0 +1,588 @@
+"""Execution engines for lazy relation expression trees.
+
+Two engines stand behind one interface:
+
+* :class:`IterationEngine` — the reference oracle.  It walks the tree and
+  applies the eager :class:`~repro.relation.relation.Relation` operators
+  node-for-node, so its output *is* the eager semantics by construction.
+* :class:`ColumnarEngine` — the fast path.  It never materializes an
+  intermediate wide relation: a pipeline is carried as a set of **leaf
+  sources plus per-leaf row-index arrays** (numpy ``intp``), reusing the
+  relations' memoized :class:`~repro.relation.columnar.ColumnarView`
+  column vectors.  A join only composes index arrays; a selection only
+  shrinks them; projection and rename are pure metadata.  Rows, wide
+  tuples and provenance products are assembled once, at ``collect``
+  time, for exactly the output columns — late materialization is
+  projection pushdown by construction, and :func:`push_down` additionally
+  sinks selections below joins/projections toward the leaves.
+
+Both engines are **bit-identical**: same rows in the same order, same
+schema, same relation name, and equal provenance expressions.  Join
+provenance relies on the :func:`~repro.relation.provenance.times` smart
+constructor flattening nested products — ``times(times(a, b), c)`` equals
+``times(a, b, c)`` — which makes the eager left-deep product association
+reproducible from flat per-leaf annotations.
+
+The :class:`Processor` resolves an engine (by name, instance, or the
+default) and memoizes the materialized result on the tree's payload slot,
+so plan copies sharing one tree materialize at most once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import SchemaError
+from .provenance import times
+from .relation import Relation, _freeze
+from .schema import Column, Schema
+from .tree import (
+    Distinct,
+    Extend,
+    Join,
+    Label,
+    LeafRelation,
+    Project,
+    RelationExpr,
+    Rename,
+    Select,
+)
+
+#: engine used when a caller does not pick one
+DEFAULT_ENGINE = "columnar"
+
+
+class Engine(ABC):
+    """One way to execute an expression tree."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, tree: RelationExpr) -> Relation:
+        """Materialize the tree's result (bit-identical across engines)."""
+
+    def count(self, tree: RelationExpr) -> int:
+        """Row count of the result (override to avoid materializing)."""
+        return len(self.execute(tree))
+
+
+class IterationEngine(Engine):
+    """The oracle: apply the eager operators node-for-node."""
+
+    name = "iteration"
+
+    def execute(self, tree: RelationExpr) -> Relation:
+        if isinstance(tree, LeafRelation):
+            return tree.relation
+        if isinstance(tree, Project):
+            return self.execute(tree.target).project(list(tree.names))
+        if isinstance(tree, Select):
+            rel = self.execute(tree.target)
+            if tree.predicate is None:
+                return rel.where(**dict(tree.conditions))
+            return rel.select(_restricted(tree.predicate, tree.input_columns))
+        if isinstance(tree, Distinct):
+            return self.execute(tree.target).distinct()
+        if isinstance(tree, Rename):
+            return self.execute(tree.target).rename(dict(tree.mapping))
+        if isinstance(tree, Label):
+            return self.execute(tree.target).renamed(tree.label)
+        if isinstance(tree, Extend):
+            return self.execute(tree.target).extend(
+                tree.column, _restricted(tree.fn, tree.input_columns)
+            )
+        if isinstance(tree, Join):
+            return self.execute(tree.left).join(
+                self.execute(tree.right),
+                on=list(tree.pairs),
+                suffix=tree.suffix,
+                keep_right=tree.keep_right,
+            )
+        raise SchemaError(f"unknown tree node {tree!r}")
+
+
+def _restricted(
+    fn: Callable[[dict[str, Any]], Any], columns: tuple[str, ...] | None
+) -> Callable[[dict[str, Any]], Any]:
+    """Wrap a row function to see only the declared input columns (both
+    engines build the restricted dict the same way)."""
+    if columns is None:
+        return fn
+    return lambda row: fn({k: row[k] for k in columns})
+
+
+def _remapped(
+    fn: Callable[[dict[str, Any]], Any],
+    declared: tuple[str, ...],
+    sources: tuple[str, ...],
+) -> Callable[[dict[str, Any]], Any]:
+    """Wrap a row function whose inputs were renamed: the engine hands it
+    a dict keyed by ``sources`` and the wrapper re-keys it to the
+    ``declared`` names the function was written against."""
+    pairs = tuple(zip(declared, sources))
+    return lambda row: fn({d: row[s] for d, s in pairs})
+
+
+# ---------------------------------------------------------------------------
+# columnar engine
+# ---------------------------------------------------------------------------
+class _RelationSource:
+    """One leaf relation inside a batch; columns served as object arrays
+    built from the relation's memoized columnar vectors."""
+
+    __slots__ = ("relation", "_arrays")
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._arrays: dict[str, np.ndarray] = {}
+
+    @property
+    def provenance(self):
+        return self.relation.provenance
+
+    def column(self, name: str) -> np.ndarray:
+        arr = self._arrays.get(name)
+        if arr is None:
+            values = self.relation.columnar.values(name)
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = values
+            self._arrays[name] = arr
+        return arr
+
+
+class _ValueSource:
+    """A computed (extend) column: values only, no provenance of its own."""
+
+    __slots__ = ("array",)
+    provenance = None
+
+    def __init__(self, values: list):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        self.array = arr
+
+    def column(self, name: str) -> np.ndarray:
+        return self.array
+
+
+class _Batch:
+    """A pipelined intermediate: sources + per-source row-index arrays.
+
+    ``indexes[i]`` is None when source ``i`` contributes its rows 0..n-1
+    unchanged (only possible while ``nrows`` equals the source length);
+    otherwise an ``intp`` array of length ``nrows`` into the source.
+    ``cols`` lists the output columns as (source position, source column
+    name, output Column).  Batches are immutable once built; operators
+    derive new batches that share sources and index arrays.
+    """
+
+    __slots__ = ("name", "sources", "indexes", "cols", "nrows")
+
+    def __init__(self, name, sources, indexes, cols, nrows):
+        self.name = name
+        self.sources = sources
+        self.indexes = indexes
+        self.cols = cols
+        self.nrows = nrows
+
+    def column_array(self, pos: int) -> np.ndarray:
+        src_i, src_name, _col = self.cols[pos]
+        arr = self.sources[src_i].column(src_name)
+        idx = self.indexes[src_i]
+        return arr if idx is None else arr[idx]
+
+    def position(self, name: str) -> int:
+        for p, (_si, _sn, col) in enumerate(self.cols):
+            if col.name == name:
+                return p
+        raise SchemaError(f"column {name!r} not in batch")
+
+
+def _compose(idx: np.ndarray | None, take: np.ndarray) -> np.ndarray:
+    """Row selection ``take`` applied on top of an existing index."""
+    return take if idx is None else idx[take]
+
+
+class ColumnarEngine(Engine):
+    """Pipelined execution over per-leaf index arrays (late materialization).
+
+    ``optimize`` (default True) applies :func:`push_down` before
+    evaluation; the rewrite is order- and provenance-preserving, so the
+    bit-identity contract holds either way.
+    """
+
+    name = "columnar"
+
+    def __init__(self, optimize: bool = True):
+        self.optimize = optimize
+
+    # -- public API --------------------------------------------------------
+    def execute(self, tree: RelationExpr) -> Relation:
+        return self._gather(self._batch_for(tree))
+
+    def count(self, tree: RelationExpr) -> int:
+        return self._batch_for(tree).nrows
+
+    def _batch_for(self, tree: RelationExpr) -> _Batch:
+        # cache the evaluated batch on the original root node so a count
+        # followed by a collect (the DoD pattern) runs the joins once
+        cached = tree.__dict__.get("_columnar_batch")
+        if cached is not None:
+            return cached
+        plan = push_down(tree) if self.optimize else tree
+        batch = self._eval(plan)
+        object.__setattr__(tree, "_columnar_batch", batch)
+        return batch
+
+    # -- evaluation --------------------------------------------------------
+    def _eval(self, tree: RelationExpr) -> _Batch:
+        if isinstance(tree, LeafRelation):
+            return self._leaf(tree.relation)
+        if isinstance(tree, Project):
+            return self._project(self._eval(tree.target), tree)
+        if isinstance(tree, Select):
+            return self._select(self._eval(tree.target), tree)
+        if isinstance(tree, Distinct):
+            # a materialization point: dedup needs the whole wide row
+            return self._leaf(self._gather(self._eval(tree.target)).distinct())
+        if isinstance(tree, Rename):
+            return self._rename(self._eval(tree.target), tree)
+        if isinstance(tree, Label):
+            inner = self._eval(tree.target)
+            return _Batch(tree.label, inner.sources, inner.indexes,
+                          inner.cols, inner.nrows)
+        if isinstance(tree, Extend):
+            return self._extend(self._eval(tree.target), tree)
+        if isinstance(tree, Join):
+            return self._join(
+                self._eval(tree.left), self._eval(tree.right), tree
+            )
+        raise SchemaError(f"unknown tree node {tree!r}")
+
+    def _leaf(self, relation: Relation) -> _Batch:
+        source = _RelationSource(relation)
+        cols = [(0, c.name, c) for c in relation.schema.columns]
+        return _Batch(relation.name, [source], [None], cols, len(relation))
+
+    def _project(self, batch: _Batch, node: Project) -> _Batch:
+        out_cols = node.schema.columns
+        cols = []
+        for name, out_col in zip(node.names, out_cols):
+            src_i, src_name, _old = batch.cols[batch.position(name)]
+            cols.append((src_i, src_name, out_col))
+        return _Batch(batch.name, batch.sources, batch.indexes, cols,
+                      batch.nrows)
+
+    def _rename(self, batch: _Batch, node: Rename) -> _Batch:
+        cols = [
+            (src_i, src_name, new_col)
+            for (src_i, src_name, _old), new_col in zip(
+                batch.cols, node.schema.columns
+            )
+        ]
+        return _Batch(batch.name, batch.sources, batch.indexes, cols,
+                      batch.nrows)
+
+    def _select(self, batch: _Batch, node: Select) -> _Batch:
+        n = batch.nrows
+        if node.predicate is None:
+            vecs = [
+                (batch.column_array(batch.position(name)), value)
+                for name, value in node.conditions
+            ]
+            keep = [
+                i for i in range(n)
+                if all(vec[i] == value for vec, value in vecs)
+            ]
+        else:
+            names = (
+                node.input_columns
+                if node.input_columns is not None
+                else tuple(c.name for _si, _sn, c in batch.cols)
+            )
+            vecs = [batch.column_array(batch.position(nm)) for nm in names]
+            predicate = node.predicate
+            keep = [
+                i for i in range(n)
+                if predicate(dict(zip(names, (v[i] for v in vecs))))
+            ]
+        take = np.asarray(keep, dtype=np.intp)
+        indexes = [_compose(idx, take) for idx in batch.indexes]
+        return _Batch(batch.name, batch.sources, indexes, batch.cols,
+                      len(keep))
+
+    def _extend(self, batch: _Batch, node: Extend) -> _Batch:
+        names = (
+            node.input_columns
+            if node.input_columns is not None
+            else tuple(c.name for _si, _sn, c in batch.cols)
+        )
+        vecs = [batch.column_array(batch.position(nm)) for nm in names]
+        fn = node.fn
+        values = [
+            fn(dict(zip(names, (v[i] for v in vecs))))
+            for i in range(batch.nrows)
+        ]
+        sources = batch.sources + [_ValueSource(values)]
+        indexes = batch.indexes + [None]
+        cols = batch.cols + [(len(sources) - 1, node.column.name, node.column)]
+        return _Batch(batch.name, sources, indexes, cols, batch.nrows)
+
+    def _join(self, left: _Batch, right: _Batch, node: Join) -> _Batch:
+        # key vectors (already index-composed views of the leaf columns)
+        lkeys = [
+            left.column_array(left.position(lc)) for lc, _rc in node.pairs
+        ]
+        rkeys = [
+            right.column_array(right.position(rc)) for _lc, rc in node.pairs
+        ]
+        # hash join: build on the right side, probe left rows in order —
+        # identical row order to the eager operator
+        table: dict[tuple, list[int]] = {}
+        for j in range(right.nrows):
+            key = tuple(_freeze(k[j]) for k in rkeys)
+            if any(k is None for k in key):
+                continue  # NULLs never join
+            table.setdefault(key, []).append(j)
+        lpos: list[int] = []
+        rpos: list[int] = []
+        for i in range(left.nrows):
+            key = tuple(_freeze(k[i]) for k in lkeys)
+            if any(k is None for k in key):
+                continue
+            matches = table.get(key)
+            if matches:
+                lpos.extend([i] * len(matches))
+                rpos.extend(matches)
+        ltake = np.asarray(lpos, dtype=np.intp)
+        rtake = np.asarray(rpos, dtype=np.intp)
+        indexes = [_compose(idx, ltake) for idx in left.indexes]
+        indexes += [_compose(idx, rtake) for idx in right.indexes]
+        sources = left.sources + right.sources
+        shift = len(left.sources)
+
+        out_cols = node.schema.columns
+        cols = [
+            (src_i, src_name, out_col)
+            for (src_i, src_name, _old), out_col in zip(
+                left.cols, out_cols[: len(left.cols)]
+            )
+        ]
+        for kept_pos, out_col in zip(
+            node.right_kept(), out_cols[len(left.cols):]
+        ):
+            src_i, src_name, _old = right.cols[kept_pos]
+            cols.append((src_i + shift, src_name, out_col))
+        return _Batch(
+            f"{left.name}⋈{right.name}", sources, indexes, cols, len(lpos)
+        )
+
+    # -- late materialization ----------------------------------------------
+    def _gather(self, batch: _Batch) -> Relation:
+        """Assemble the output relation: only the output columns are
+        gathered, and provenance products are built flat per row."""
+        n = batch.nrows
+        schema = Schema([col for _si, _sn, col in batch.cols])
+        if batch.cols:
+            vectors = [
+                batch.column_array(p).tolist()
+                for p in range(len(batch.cols))
+            ]
+            rows = list(zip(*vectors)) if n else []
+        else:
+            rows = [()] * n
+
+        prov_parts = [
+            (src.provenance, idx)
+            for src, idx in zip(batch.sources, batch.indexes)
+            if src.provenance is not None
+        ]
+        if len(prov_parts) == 1:
+            source_prov, idx = prov_parts[0]
+            if idx is None:
+                # pristine single-source pipeline: reuse the leaf verbatim
+                # when nothing changed at all
+                relation = batch.sources[0].relation
+                if (
+                    batch.name == relation.name
+                    and schema.names == relation.schema.names
+                    and tuple(schema.columns) == tuple(relation.schema.columns)
+                ):
+                    return relation
+                prov = source_prov
+            else:
+                prov = tuple(source_prov[i] for i in idx)
+        else:
+            per_row = [
+                (p, idx if idx is not None else range(len(p)))
+                for p, idx in prov_parts
+            ]
+            prov = tuple(
+                times(*(p[idx[r]] for p, idx in per_row)) for r in range(n)
+            )
+        return Relation._build(batch.name, schema, rows, prov)
+
+
+# ---------------------------------------------------------------------------
+# selection pushdown
+# ---------------------------------------------------------------------------
+def push_down(tree: RelationExpr) -> RelationExpr:
+    """Sink selections toward the leaves (through projections, renames,
+    labels, condition-only distincts, and into join inputs).
+
+    The rewrite preserves rows, row order and provenance expressions, so
+    engines may apply it unconditionally.  Selections never sink below an
+    :class:`Extend` — that could skip a mapping-function error the
+    un-rewritten tree would raise.
+    """
+    if isinstance(tree, LeafRelation):
+        return tree
+    if isinstance(tree, Join):
+        return Join(
+            push_down(tree.left), push_down(tree.right), tree.pairs,
+            tree.suffix, tree.keep_right,
+        )
+    if isinstance(tree, Select):
+        return _sink(tree, push_down(tree.target))
+    return replace(tree, target=push_down(tree.target))
+
+
+def _sink(sel: Select, node: RelationExpr) -> RelationExpr:
+    """Equivalent of ``Select(node, ...)`` with the selection sunk as far
+    down as the rewrite rules allow."""
+    conditions, predicate, columns = (
+        sel.conditions, sel.predicate, sel.input_columns
+    )
+
+    if isinstance(node, Label):
+        return Label(_sink(sel, node.target), node.label)
+
+    if isinstance(node, Project):
+        referenced = (
+            [name for name, _v in conditions]
+            if predicate is None
+            else list(columns or ())
+        )
+        # projected names keep their identity below the projection; a
+        # full-row predicate (columns=None) must stay above it
+        if (predicate is None or columns is not None) and all(
+            name in node.target.schema for name in referenced
+        ):
+            inner = Select(node.target, conditions, predicate, columns)
+            return Project(_sink(inner, node.target), node.names)
+        return Select(node, conditions, predicate, columns)
+
+    if isinstance(node, Rename):
+        inverse = {new: old for old, new in node.mapping}
+        if predicate is None:
+            remapped = tuple(
+                (inverse.get(name, name), value) for name, value in conditions
+            )
+            inner = Select(node.target, remapped, None, None)
+            return Rename(_sink(inner, node.target), node.mapping)
+        if columns is not None:
+            # the select references output (renamed) names; below the
+            # rename it must read the source names, with the row dict
+            # translated back so the predicate sees the names it declared
+            sources = tuple(inverse.get(c, c) for c in columns)
+            pushed = predicate
+            if sources != columns:
+                pushed = _remapped(predicate, columns, sources)
+            inner = Select(node.target, (), pushed, sources)
+            return Rename(_sink(inner, node.target), node.mapping)
+        return Select(node, conditions, predicate, columns)
+
+    if isinstance(node, Distinct) and predicate is None:
+        # all duplicates of a row share its cell values, so filtering
+        # commutes with dedup (rows and merged provenance both agree)
+        inner = Select(node.target, conditions, None, None)
+        return Distinct(_sink(inner, node.target))
+
+    if isinstance(node, Join):
+        left_names = set(node.left.schema.names)
+        right_map = node.right_output_names()
+        if predicate is None:
+            lcond = tuple(
+                (n, v) for n, v in conditions if n in left_names
+            )
+            rcond = tuple(
+                (right_map[n], v)
+                for n, v in conditions
+                if n not in left_names and n in right_map
+            )
+            if len(lcond) + len(rcond) == len(conditions):
+                new_left = node.left
+                if lcond:
+                    new_left = _sink(
+                        Select(node.left, lcond, None, None), node.left
+                    )
+                new_right = node.right
+                if rcond:
+                    new_right = _sink(
+                        Select(node.right, rcond, None, None), node.right
+                    )
+                return Join(new_left, new_right, node.pairs, node.suffix,
+                            node.keep_right)
+        elif columns is not None and set(columns) <= left_names:
+            new_left = _sink(
+                Select(node.left, (), predicate, columns), node.left
+            )
+            return Join(new_left, node.right, node.pairs, node.suffix,
+                        node.keep_right)
+        return Select(node, conditions, predicate, columns)
+
+    return Select(node, conditions, predicate, columns)
+
+
+# ---------------------------------------------------------------------------
+# processor
+# ---------------------------------------------------------------------------
+_ENGINES: dict[str, Engine] = {}
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve a registered engine by name (instances are shared)."""
+    engine = _ENGINES.get(name)
+    if engine is None:
+        if name == "iteration":
+            engine = IterationEngine()
+        elif name == "columnar":
+            engine = ColumnarEngine()
+        else:
+            raise SchemaError(
+                f"unknown execution engine {name!r} "
+                "(expected 'iteration' or 'columnar')"
+            )
+        _ENGINES[name] = engine
+    return engine
+
+
+class Processor:
+    """Executes expression trees on a chosen engine, memoizing results on
+    the tree's payload slot (engines are bit-identical, so a payload from
+    any engine serves all of them)."""
+
+    def __init__(self, engine: str | Engine | None = None):
+        if engine is None:
+            engine = DEFAULT_ENGINE
+        self.engine = engine if isinstance(engine, Engine) else (
+            get_engine(engine)
+        )
+
+    def execute(self, tree: RelationExpr) -> Relation:
+        cached = tree.payload
+        if cached is not None:
+            return cached
+        relation = self.engine.execute(tree)
+        tree.attach_payload(relation)
+        return relation
+
+    def count(self, tree: RelationExpr) -> int:
+        cached = tree.payload
+        if cached is not None:
+            return len(cached)
+        return self.engine.count(tree)

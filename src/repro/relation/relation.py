@@ -10,9 +10,13 @@ can later split a mashup's price across the contributing datasets.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..errors import SchemaError, UnknownColumnError
+from ..errors import ReproDeprecationWarning, SchemaError, UnknownColumnError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tree import LeafRelation
 from .columnar import SCALAR_DTYPES, ColumnarView
 from .provenance import ProvExpr, ProvOne, ProvToken, plus, times
 from .schema import Column, Schema
@@ -40,10 +44,28 @@ class Relation:
         self,
         name: str,
         schema: Schema | Iterable,
-        rows: Iterable[Sequence],
+        rows: Iterable[Sequence] = (),
+        /,
         provenance: Sequence[ProvExpr] | None = None,
         validate: bool = True,
+        **legacy: Any,
     ):
+        if legacy:
+            unknown = set(legacy) - {"rows"}
+            if unknown:
+                raise TypeError(
+                    f"Relation() got unexpected keyword arguments "
+                    f"{sorted(unknown)}"
+                )
+            warnings.warn(
+                "passing rows= to Relation as a keyword is deprecated "
+                "(mutation-era entry point): pass the rows positionally, "
+                "or build results lazily through the tree API "
+                "(Relation.lazy() and the expression-tree operators)",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+            rows = legacy["rows"]
         self.name = name
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self._rows: tuple[Row, ...] = tuple(tuple(r) for r in rows)
@@ -221,17 +243,32 @@ class Relation:
         self._chash = h.hexdigest()
         return self._chash
 
+    def lazy(self) -> "LeafRelation":
+        """This relation as a lazy expression-tree leaf.
+
+        The entry point of the tree API: chain the lazy operators on the
+        returned node and materialize with ``collect()`` —
+        ``rel.lazy().join(other.lazy(), on=["k"]).project(["a"]).collect()``.
+        """
+        from .tree import LeafRelation
+
+        return LeafRelation(self)
+
     # ------------------------------------------------------------------
     # relational algebra (all provenance-propagating)
     # ------------------------------------------------------------------
-    def _derive(
-        self,
+    @classmethod
+    def _build(
+        cls,
         name: str,
         schema: Schema,
         rows: Iterable[Row],
         prov: Iterable[ProvExpr],
     ) -> "Relation":
-        rel = Relation.__new__(Relation)
+        """Raw constructor for operators and engines: rows are trusted
+        (already schema-valid) and provenance is supplied, so validation
+        and token tagging are skipped."""
+        rel = cls.__new__(cls)
         rel.name = name
         rel.schema = schema
         rel._rows = tuple(rows)
@@ -239,6 +276,15 @@ class Relation:
         rel._columnar = None
         rel._chash = None
         return rel
+
+    def _derive(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Row],
+        prov: Iterable[ProvExpr],
+    ) -> "Relation":
+        return Relation._build(name, schema, rows, prov)
 
     def project(self, names: Sequence[str]) -> "Relation":
         """π — keep the given columns (duplicates preserved: bag semantics)."""

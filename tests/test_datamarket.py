@@ -266,7 +266,9 @@ def test_plan_cache_results_identical_to_uncached_planner():
     assert uncached.plan_cache_stats.requests == 0
 
 
-def test_plan_with_examples_bypasses_cache():
+def test_plan_with_examples_is_cached_by_content():
+    """QBE payloads are content-hashed into the cache key: identical
+    examples hit, different example rows miss (no false sharing)."""
     market = DataMarket(internal_market())
     market.register_dataset(make_dataset("ds_a", ["alpha"]), seller="s0")
     examples = Relation(
@@ -276,8 +278,20 @@ def test_plan_with_examples_bypasses_cache():
     )
     market.plan(["alpha"], key="entity_id", examples=examples)
     market.plan(["alpha"], key="entity_id", examples=examples)
-    assert market.plan_cache_stats.hits == 0
-    assert market.plan_cache_stats.uncacheable == 2
+    assert market.plan_cache_stats.hits == 1
+    assert market.plan_cache_stats.uncacheable == 0
+    other = Relation(
+        "examples",
+        [Column("entity_id", "int", "entity"), Column("alpha", "float")],
+        [(0, 5.0), (1, 6.0)],
+    )
+    market.plan(["alpha"], key="entity_id", examples=other)
+    assert market.plan_cache_stats.hits == 1
+    assert market.plan_cache_stats.misses == 2
+    # examples-keyed entries must not serve the no-examples request either
+    market.plan(["alpha"], key="entity_id")
+    assert market.plan_cache_stats.hits == 1
+    assert market.plan_cache_stats.misses == 3
 
 
 def test_as_of_monotonicity_over_lifecycle():

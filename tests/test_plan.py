@@ -2,10 +2,14 @@
 
 import pytest
 
-from repro.errors import IntegrationError, SynthesisError
+from repro.errors import (
+    IntegrationError,
+    ReproDeprecationWarning,
+    SynthesisError,
+)
 from repro.integration import AffineMap, DictionaryMap
 from repro.mashup import JoinStep, MashupPlan, TransformStep, qualified
-from repro.relation import Column, Relation
+from repro.relation import Column, Relation, RelationExpr
 
 
 @pytest.fixture
@@ -38,7 +42,7 @@ def test_plan_executes_join_and_projection(datasets):
         output={"cid": "orders__cid", "amount": "orders__amount",
                 "city": "customers__city"},
     )
-    out = plan.execute(resolver_of(datasets))
+    out = plan.run(resolver_of(datasets))
     assert set(out.columns) == {"cid", "amount", "city"}
     assert len(out) == 3
     assert plan.sources() == ["orders", "customers"]
@@ -55,7 +59,7 @@ def test_plan_transform_step(datasets):
                                   AffineMap(0.9, 0.0))],
         output={"amount_eur": "amount_eur"},
     )
-    out = plan.execute(resolver_of(datasets))
+    out = plan.run(resolver_of(datasets))
     assert sorted(out.column("amount_eur")) == pytest.approx(
         [9.0, 18.0, 22.5]
     )
@@ -69,7 +73,7 @@ def test_plan_transform_preserves_nulls():
         transforms=[TransformStep("d__x", "y", AffineMap(2.0, 0.0))],
         output={"y": "y"},
     )
-    out = plan.execute(lambda _n: data)
+    out = plan.run(lambda _n: data)
     assert sorted(out.column("y"), key=lambda v: (v is None, v)) == [2.0, None]
 
 
@@ -81,7 +85,7 @@ def test_plan_dictionary_transform_fails_on_unknown_value(datasets):
         output={"code": "code"},
     )
     with pytest.raises(SynthesisError, match="not in mapping table"):
-        plan.execute(resolver_of(datasets))
+        plan.run(resolver_of(datasets))
 
 
 def test_plan_multi_column_join_step():
@@ -109,7 +113,7 @@ def test_plan_multi_column_join_step():
         joins=[step],
         output={"v": "left__v", "w": "right__w"},
     )
-    out = plan.execute(resolver_of(data))
+    out = plan.run(resolver_of(data))
     # only (1,a) and (1,b) match on BOTH keys; (2,a)/(2,b) do not
     assert sorted(zip(out.column("v"), out.column("w"))) == [
         (1.0, "x"), (2.0, "y"),
@@ -122,7 +126,7 @@ def test_plan_multi_column_join_step():
         output={"v": "left__v"},
     )
     with pytest.raises(IntegrationError, match="ghost"):
-        bad.execute(resolver_of(data))
+        bad.run(resolver_of(data))
 
 
 def test_plan_inconsistent_join_column(datasets):
@@ -132,20 +136,20 @@ def test_plan_inconsistent_join_column(datasets):
         output={"cid": "orders__cid"},
     )
     with pytest.raises(IntegrationError, match="ghost"):
-        plan.execute(resolver_of(datasets))
+        plan.run(resolver_of(datasets))
     plan2 = MashupPlan(
         base="orders",
         joins=[JoinStep("customers", "orders__cid", "customers__ghost")],
         output={"cid": "orders__cid"},
     )
     with pytest.raises(IntegrationError, match="ghost"):
-        plan2.execute(resolver_of(datasets))
+        plan2.run(resolver_of(datasets))
 
 
 def test_plan_missing_output_column(datasets):
     plan = MashupPlan(base="orders", output={"x": "orders__nope"})
     with pytest.raises(IntegrationError, match="missing columns"):
-        plan.execute(resolver_of(datasets))
+        plan.run(resolver_of(datasets))
 
 
 def test_plan_missing_transform_source(datasets):
@@ -155,7 +159,7 @@ def test_plan_missing_transform_source(datasets):
         output={"y": "y"},
     )
     with pytest.raises(IntegrationError, match="transform source"):
-        plan.execute(resolver_of(datasets))
+        plan.run(resolver_of(datasets))
 
 
 def test_plan_provenance_flows_through_execution(datasets):
@@ -164,6 +168,48 @@ def test_plan_provenance_flows_through_execution(datasets):
         joins=[JoinStep("customers", "orders__cid", "customers__cid")],
         output={"amount": "orders__amount", "city": "customers__city"},
     )
-    out = plan.execute(resolver_of(datasets))
+    out = plan.run(resolver_of(datasets))
     for expr in out.provenance:
         assert expr.sources() == {"orders", "customers"}
+
+
+def test_plan_build_tree_is_lazy(datasets):
+    """build_tree returns an unevaluated expression; engines agree."""
+    calls = []
+
+    def resolver(name):
+        calls.append(name)
+        return datasets[name]
+
+    plan = MashupPlan(
+        base="orders",
+        joins=[JoinStep("customers", "orders__cid", "customers__cid")],
+        output={"amount": "orders__amount", "city": "customers__city"},
+    )
+    tree = plan.build_tree(resolver)
+    assert isinstance(tree, RelationExpr)
+    assert tree.name == "mashup"
+    assert set(tree.columns) == {"amount", "city"}
+    # resolving datasets happens at build time, but no rows moved yet
+    assert calls == ["orders", "customers"]
+    # compare engines directly: collect() memoizes on the tree's payload
+    from repro.relation import ColumnarEngine, IterationEngine
+
+    eager = IterationEngine().execute(tree)
+    columnar = ColumnarEngine().execute(tree)
+    assert eager.rows == columnar.rows
+    assert eager.provenance == columnar.provenance
+    assert eager.schema == columnar.schema
+
+
+def test_plan_execute_shim_warns_and_matches_run(datasets):
+    plan = MashupPlan(
+        base="orders",
+        joins=[JoinStep("customers", "orders__cid", "customers__cid")],
+        output={"cid": "orders__cid", "city": "customers__city"},
+    )
+    expected = plan.run(resolver_of(datasets))
+    with pytest.warns(ReproDeprecationWarning, match="build_tree"):
+        out = plan.execute(resolver_of(datasets))
+    assert out.rows == expected.rows
+    assert out.schema == expected.schema
