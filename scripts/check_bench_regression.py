@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Gate benchmark metrics against committed baselines.
+
+Reads every ``BENCH_E*.json`` the benchmark session wrote (the
+``bench_json`` fixture emits one file per experiment, tagged with a
+``smoke`` flag) and compares the flat ratio metrics against
+``benchmarks/baselines.json``::
+
+    { "E25": { "smoke": {"peak_ratio": 2.0},
+               "full":  {"peak_ratio": 2.0, "select_speedup": 5.0} } }
+
+Each baseline value is a **floor**: the run fails (exit 1) when a
+metric is present in the baseline but missing from the artifact, or
+falls below the committed floor.  Experiments without a baseline entry
+are reported and skipped — deliberately, so adding a bench never breaks
+CI until someone commits floors for it.
+
+Usage: ``python scripts/check_bench_regression.py [artifact_dir]``
+(defaults to the current directory, where pytest writes the artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BASELINES = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines.json"
+
+
+def check(artifact_dir: Path) -> int:
+    baselines = json.loads(BASELINES.read_text())
+    artifacts = sorted(artifact_dir.glob("BENCH_E*.json"))
+    if not artifacts:
+        print(f"no BENCH_E*.json artifacts under {artifact_dir}", file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+    for path in artifacts:
+        data = json.loads(path.read_text())
+        experiment = data.get("experiment", path.stem.replace("BENCH_", ""))
+        floors = baselines.get(experiment)
+        if floors is None:
+            print(f"{path.name}: no baseline for {experiment}, skipped")
+            continue
+        mode = "smoke" if data.get("smoke") else "full"
+        for metric, floor in floors.get(mode, {}).items():
+            value = data.get(metric)
+            if value is None:
+                failures.append(
+                    f"{path.name}: metric {metric!r} missing "
+                    f"(baseline {mode} floor {floor})"
+                )
+            elif value < floor:
+                failures.append(
+                    f"{path.name}: {metric} = {value} below "
+                    f"{mode} floor {floor}"
+                )
+            else:
+                print(f"{path.name}: {metric} = {value} >= {floor} ({mode}) ok")
+
+    if failures:
+        print("\nBENCH REGRESSIONS:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("all benchmark metrics at or above committed floors")
+    return 0
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    raise SystemExit(check(target))

@@ -16,8 +16,12 @@ from .profiler import (
     profile_table,
 )
 from .search import AttributeMatch, DatasetHit, DiscoveryEngine
+from .stats import FanoutEstimate, combine_composite, estimate_fanouts
 
 __all__ = [
+    "FanoutEstimate",
+    "estimate_fanouts",
+    "combine_composite",
     "ColumnProfile",
     "TableProfile",
     "profile_column",

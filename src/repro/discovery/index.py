@@ -48,6 +48,7 @@ from ..errors import DiscoveryError
 from ..sketches import LSHIndex
 from .metadata import MetadataDelta, MetadataEngine
 from .profiler import ColumnProfile, TableProfile, name_similarity
+from .stats import FanoutEstimate, combine_composite, estimate_fanouts
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,9 @@ class JoinCandidate:
     #: dataset inferred to hold the referenced (primary-key) side of an
     #: inclusion dependency, or None when containment is symmetric/weak
     pk_side: str | None = None
+    #: estimated per-row join fan-out (left→right / right→left), derived
+    #: from profile stats; None when the sketches carry no signal
+    fanout: FanoutEstimate | None = None
 
     @property
     def pair(self) -> tuple[tuple[str, str], tuple[str, str]]:
@@ -74,6 +78,7 @@ class JoinCandidate:
             self.right_dataset, self.right_column,
             self.left_dataset, self.left_column,
             self.score, self.evidence, self.pk_side,
+            None if self.fanout is None else self.fanout.reversed(),
         )
 
 
@@ -93,6 +98,9 @@ class JoinPredicate:
     score: float
     evidence: str  # "overlap" | "semantic" | "name" | "composite"
     pk_side: str | None = None
+    #: estimated per-row join fan-out (left→right / right→left); composite
+    #: predicates carry the member-wise minimum
+    fanout: FanoutEstimate | None = None
 
     @property
     def left_column(self) -> str:
@@ -111,6 +119,7 @@ class JoinPredicate:
             self.right_dataset, self.left_dataset,
             tuple((rc, lc) for lc, rc in self.pairs),
             self.score, self.evidence, self.pk_side,
+            None if self.fanout is None else self.fanout.reversed(),
         )
 
 
@@ -365,6 +374,7 @@ class IndexBuilder:
                 score=pred.score,
                 evidence=pred.evidence,
                 pk_side=pred.pk_side,
+                fanout=pred.fanout,
             )
 
     def _pair_predicates(self, u: str, v: str) -> list[JoinPredicate]:
@@ -383,7 +393,7 @@ class IndexBuilder:
             JoinPredicate(
                 c.left_dataset, c.right_dataset,
                 ((c.left_column, c.right_column),),
-                c.score, c.evidence, c.pk_side,
+                c.score, c.evidence, c.pk_side, c.fanout,
             )
             for c in cands
         ]
@@ -410,6 +420,7 @@ class IndexBuilder:
                     # equal to the best single edge preserves shortest paths
                     max(m.score for m in members),
                     "composite", pk_side,
+                    combine_composite([m.fanout for m in members]),
                 )
             )
         return preds
@@ -426,10 +437,16 @@ class IndexBuilder:
         joinable = a.looks_like_key or b.looks_like_key
         overlap = a.signature.jaccard(b.signature)
         pk_side = _infer_pk_side(a, b, overlap)
+        fanout = estimate_fanouts(
+            a, b,
+            self._profiles[a.dataset].n_rows,
+            self._profiles[b.dataset].n_rows,
+            overlap,
+        )
         if joinable and overlap >= self.min_overlap:
             return JoinCandidate(
                 a.dataset, a.column, b.dataset, b.column, overlap, "overlap",
-                pk_side,
+                pk_side, fanout,
             )
         if (
             a.semantic is not None
@@ -438,13 +455,13 @@ class IndexBuilder:
         ):
             return JoinCandidate(
                 a.dataset, a.column, b.dataset, b.column,
-                max(overlap, 0.75), "semantic", pk_side,
+                max(overlap, 0.75), "semantic", pk_side, fanout,
             )
         name_sim = name_similarity(a.column, b.column)
         if joinable and name_sim >= self.min_name_similarity and overlap > 0.1:
             return JoinCandidate(
                 a.dataset, a.column, b.dataset, b.column,
-                0.5 * name_sim + 0.5 * overlap, "name", pk_side,
+                0.5 * name_sim + 0.5 * overlap, "name", pk_side, fanout,
             )
         return None
 
@@ -529,6 +546,7 @@ class IndexBuilder:
                 d["left_dataset"],
                 v if d["left_dataset"] == u else u,
                 d["pairs"], d["score"], d["evidence"], d["pk_side"],
+                d["fanout"],
             )
             if pred.left_dataset != u:
                 pred = pred.reversed()

@@ -1,0 +1,89 @@
+"""Cardinality statistics for cost-based join planning.
+
+The profiler already sketches everything a textbook cost model needs —
+row counts, per-column distinct counts and MinHash signatures whose
+Jaccard estimates give containment asymmetry (the same arithmetic that
+infers ``pk_side``).  This module turns those profile stats into
+**per-edge fan-out estimates**: for a candidate join predicate between
+columns *a* (of dataset A) and *b* (of dataset B),
+
+* ``fanout_lr`` estimates the matching B rows per A row — the factor by
+  which joining B onto a running mashup rooted at A multiplies its
+  cardinality;
+* ``fanout_rl`` is the symmetric estimate for the other direction.
+
+Derivation (uniform-multiplicity model, the one FDB's fact→dimension
+ordering rests on): from estimated Jaccard ``j`` and distinct counts
+``da, db``, the intersection size is ``j/(1+j) · (da+db)``; the fraction
+of A-side values that appear in B at all is ``inter/da`` (containment),
+and each appearing value matches the B-side average multiplicity
+``rows_b/db``.  So
+
+    fanout_lr = min(1, inter/da) · rows_b / db
+
+A textbook PK→FK edge (B references A's key) gives ``fanout_rl ≈ 1`` and
+``fanout_lr ≈ rows_b/db ≥ 1`` — exactly the asymmetry the planner orders
+joins by.  Estimates are derived purely from profiles, so incremental and
+full-rebuild index maintenance agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .profiler import ColumnProfile
+
+
+@dataclass(frozen=True)
+class FanoutEstimate:
+    """Estimated per-row join fan-out for one column pair, both ways."""
+
+    #: expected matching right-side rows per left-side row
+    lr: float
+    #: expected matching left-side rows per right-side row
+    rl: float
+
+    def reversed(self) -> "FanoutEstimate":
+        return FanoutEstimate(self.rl, self.lr)
+
+
+def estimate_fanouts(
+    a: ColumnProfile,
+    b: ColumnProfile,
+    rows_a: int,
+    rows_b: int,
+    jaccard: float,
+) -> FanoutEstimate | None:
+    """Fan-out estimates for joining on ``a = b``, or None when the
+    profiles carry no usable cardinality signal (zero distincts or no
+    estimated overlap — e.g. a candidate backed purely by semantic tags
+    whose sketches never collided)."""
+    da = a.categorical.distinct
+    db = b.categorical.distinct
+    if jaccard <= 0.0 or da <= 0 or db <= 0:
+        return None
+    inter = jaccard / (1.0 + jaccard) * (da + db)
+    cont_a = min(1.0, inter / da)
+    cont_b = min(1.0, inter / db)
+    return FanoutEstimate(
+        lr=cont_a * rows_b / db,
+        rl=cont_b * rows_a / da,
+    )
+
+
+def combine_composite(
+    estimates: list[FanoutEstimate | None],
+) -> FanoutEstimate | None:
+    """Fan-out of a composite-key predicate from its members' estimates.
+
+    Joining on the conjunction of several column pairs matches at most as
+    many rows as the most selective member alone, so the composite
+    estimate is the member-wise minimum.  Members without an estimate
+    contribute nothing; all-unknown composites stay unknown."""
+    known = [e for e in estimates if e is not None]
+    if not known:
+        return None
+    return FanoutEstimate(
+        lr=min(e.lr for e in known),
+        rl=min(e.rl for e in known),
+    )

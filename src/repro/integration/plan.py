@@ -53,6 +53,9 @@ class JoinStep:
     score: float = 1.0
     #: additional (left, right) qualified column pairs of a composite key
     extra_on: tuple[tuple[str, str], ...] = ()
+    #: estimated matching rows of ``dataset`` per running-mashup row (the
+    #: cost model's per-step blow-up factor), or None when unknown
+    fanout: float | None = None
 
     @property
     def pairs(self) -> tuple[tuple[str, str], ...]:

@@ -40,6 +40,7 @@ class MashupBuilder:
         incremental: bool = True, exhaustive: bool = False,
         beam_width: int | None = None, plan_cache: bool = True,
         plan_cache_size: int = 128, exec_engine: str = "columnar",
+        cost_model: bool = True,
     ):
         self.metadata = MetadataEngine(num_perm=num_perm)
         self.index = IndexBuilder(
@@ -50,7 +51,7 @@ class MashupBuilder:
             self.metadata, self.index, self.discovery,
             exhaustive=exhaustive, beam_width=beam_width,
             plan_cache=plan_cache, plan_cache_size=plan_cache_size,
-            exec_engine=exec_engine,
+            exec_engine=exec_engine, cost_model=cost_model,
         )
         self._gap_demand: dict[str, int] = {}
         self._hints: list[TransformHint] = []

@@ -92,7 +92,9 @@ class DataMarket:
 
     Constructor knobs forward to the internal layer: ``num_perm`` /
     ``min_overlap`` / ``incremental`` shape the discovery indexes,
-    ``exhaustive`` / ``beam_width`` select the DoD plan enumerator, and
+    ``exhaustive`` / ``beam_width`` select the DoD plan enumerator,
+    ``cost_model`` toggles fan-out cost-based join-tree planning (on by
+    default; off selects the hop-count comparison oracle), and
     ``plan_cache`` / ``plan_cache_size`` control the component-scoped plan
     cache (on by default, LRU-bounded): cached plans survive deltas in
     unrelated join-graph components and are evicted exactly when a delta
@@ -111,6 +113,7 @@ class DataMarket:
         plan_cache: bool = True,
         plan_cache_size: int = 128,
         exec_engine: str = "columnar",
+        cost_model: bool = True,
     ):
         self.design = design if design is not None else external_market()
         self.exec_engine = exec_engine
@@ -125,6 +128,7 @@ class DataMarket:
                 plan_cache=plan_cache,
                 plan_cache_size=plan_cache_size,
                 exec_engine=exec_engine,
+                cost_model=cost_model,
             ),
         )
         self._rounds = 0

@@ -37,6 +37,8 @@ from typing import Any, Callable
 import numpy as np
 
 from ..errors import SchemaError
+from .columnar import SCALAR_DTYPES
+from .predicates import Predicate, _bool_mask, _scalar_operand
 from .provenance import times
 from .relation import Relation, _freeze
 from .schema import Column, Schema
@@ -207,6 +209,147 @@ def _compose(idx: np.ndarray | None, take: np.ndarray) -> np.ndarray:
     return take if idx is None else idx[take]
 
 
+def _conditions_mask(
+    vecs: list[tuple[np.ndarray, Any]], n: int
+) -> np.ndarray | None:
+    """Vectorized AND of equality conditions, or None when any operand
+    (or any cell's comparison result) defies elementwise ``==`` — the
+    row loop then reproduces the oracle semantics exactly."""
+    mask = np.ones(n, dtype=bool)
+    for arr, value in vecs:
+        if not _scalar_operand(value):
+            return None
+        try:
+            mask &= _bool_mask(np.equal(arr, value), n)
+        except Exception:
+            return None
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# join kernels (all bit-identical: same (left, right) match pairs in the
+# same order as the eager operator — left rows ascending, and per left row
+# its right matches ascending)
+# ---------------------------------------------------------------------------
+#: dtypes whose values sort under ``np.unique`` and whose dict-key
+#: semantics ``==`` reproduces exactly.  ``float`` is excluded: a NaN key
+#: matches itself *by identity* in a dict probe, while the factorize
+#: kernel's ``==`` grouping can never match NaN — the dict kernels keep
+#: that bit-identity instead.
+_FACTORIZE_DTYPES = frozenset(("int", "str", "bool"))
+
+
+def _factorizable(ldt: str, rdt: str) -> bool:
+    """True when both key columns may take the factorize kernel: sortable
+    dtypes, and mutually comparable (mixed int/bool sorts fine; mixed
+    int/str would raise mid-sort)."""
+    if ldt not in _FACTORIZE_DTYPES or rdt not in _FACTORIZE_DTYPES:
+        return False
+    return ldt == rdt or {ldt, rdt} <= {"int", "bool"}
+
+
+def _not_none(arr: np.ndarray) -> np.ndarray:
+    return np.fromiter(
+        (v is not None for v in arr), dtype=bool, count=len(arr)
+    )
+
+
+_EMPTY_TAKE = (
+    np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp)
+)
+
+
+def _factorize_join(
+    lk: np.ndarray, rk: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized single-key equi-join: factorize both key vectors into
+    integer codes with one ``np.unique`` over the concatenated non-null
+    keys, group the right side by code with a stable argsort, and expand
+    each left row's match run with a repeat/cumsum ramp — no per-row
+    Python in the match phase."""
+    lrows = np.flatnonzero(_not_none(lk))
+    rrows = np.flatnonzero(_not_none(rk))
+    if lrows.size == 0 or rrows.size == 0:
+        return _EMPTY_TAKE
+    lvals = lk[lrows]
+    rvals = rk[rrows]
+    _uniq, inv = np.unique(
+        np.concatenate([lvals, rvals]), return_inverse=True
+    )
+    lcodes = inv[: lvals.size]
+    rcodes = inv[lvals.size:]
+    counts = np.bincount(rcodes, minlength=int(inv.max()) + 1)
+    order = np.argsort(rcodes, kind="stable")
+    group_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    cnt = counts[lcodes]  # matches per (non-null) left row
+    total = int(cnt.sum())
+    if total == 0:
+        return _EMPTY_TAKE
+    lpos = np.repeat(lrows, cnt)
+    # per output row: its offset within its left row's run, shifted to
+    # that run's slice of `order`
+    run_end = np.cumsum(cnt)
+    ramp = (
+        np.arange(total, dtype=np.intp)
+        - np.repeat(run_end - cnt, cnt)
+        + np.repeat(group_start[lcodes], cnt)
+    )
+    rpos = rrows[order[ramp]]
+    return lpos.astype(np.intp, copy=False), rpos.astype(np.intp, copy=False)
+
+
+def _scalar_join(
+    lk: np.ndarray, rk: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dict hash join on bare scalar keys: skips the one-element tuple
+    and ``_freeze`` call per row of the generic kernel.  Scalar dict
+    probes share the tuple kernel's identity-then-equality semantics
+    (NaN keys match only themselves), so the two are bit-identical."""
+    table: dict = {}
+    for j, v in enumerate(rk.tolist()):
+        if v is not None:
+            table.setdefault(v, []).append(j)
+    lpos: list[int] = []
+    rpos: list[int] = []
+    for i, v in enumerate(lk.tolist()):
+        if v is None:
+            continue
+        matches = table.get(v)
+        if matches:
+            lpos.extend([i] * len(matches))
+            rpos.extend(matches)
+    return (
+        np.asarray(lpos, dtype=np.intp), np.asarray(rpos, dtype=np.intp)
+    )
+
+
+def _tuple_join(
+    lkeys: list[np.ndarray], rkeys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """The generic kernel: build on the right side over frozen key
+    tuples, probe left rows in order (the original row-loop hash join —
+    and the oracle the fast kernels must match)."""
+    table: dict[tuple, list[int]] = {}
+    for j in range(len(rkeys[0]) if rkeys else 0):
+        key = tuple(_freeze(k[j]) for k in rkeys)
+        if any(k is None for k in key):
+            continue  # NULLs never join
+        table.setdefault(key, []).append(j)
+    lpos: list[int] = []
+    rpos: list[int] = []
+    for i in range(len(lkeys[0]) if lkeys else 0):
+        key = tuple(_freeze(k[i]) for k in lkeys)
+        if any(k is None for k in key):
+            continue
+        matches = table.get(key)
+        if matches:
+            lpos.extend([i] * len(matches))
+            rpos.extend(matches)
+    return (
+        np.asarray(lpos, dtype=np.intp), np.asarray(rpos, dtype=np.intp)
+    )
+
+
 class ColumnarEngine(Engine):
     """Pipelined execution over per-leaf index arrays (late materialization).
 
@@ -288,16 +431,29 @@ class ColumnarEngine(Engine):
                       batch.nrows)
 
     def _select(self, batch: _Batch, node: Select) -> _Batch:
+        """Row filter.  Equality conditions and structured predicates
+        compile to numpy masks over whole column vectors; anything the
+        mask cannot reproduce bit-for-bit (opaque callables, non-scalar
+        operands, comparisons that error) falls back to the row loop —
+        the oracle the masks are tested against."""
         n = batch.nrows
+        take: np.ndarray | None = None
         if node.predicate is None:
             vecs = [
                 (batch.column_array(batch.position(name)), value)
                 for name, value in node.conditions
             ]
-            keep = [
-                i for i in range(n)
-                if all(vec[i] == value for vec, value in vecs)
-            ]
+            mask = _conditions_mask(vecs, n)
+            if mask is not None:
+                take = np.flatnonzero(mask)
+            else:
+                take = np.asarray(
+                    [
+                        i for i in range(n)
+                        if all(vec[i] == value for vec, value in vecs)
+                    ],
+                    dtype=np.intp,
+                )
         else:
             names = (
                 node.input_columns
@@ -306,14 +462,24 @@ class ColumnarEngine(Engine):
             )
             vecs = [batch.column_array(batch.position(nm)) for nm in names]
             predicate = node.predicate
-            keep = [
-                i for i in range(n)
-                if predicate(dict(zip(names, (v[i] for v in vecs))))
-            ]
-        take = np.asarray(keep, dtype=np.intp)
+            if isinstance(predicate, Predicate):
+                try:
+                    mask = predicate.mask(dict(zip(names, vecs)), n)
+                except Exception:
+                    mask = None  # row loop reproduces (or re-raises) it
+                if mask is not None:
+                    take = np.flatnonzero(mask)
+            if take is None:
+                take = np.asarray(
+                    [
+                        i for i in range(n)
+                        if predicate(dict(zip(names, (v[i] for v in vecs))))
+                    ],
+                    dtype=np.intp,
+                )
         indexes = [_compose(idx, take) for idx in batch.indexes]
         return _Batch(batch.name, batch.sources, indexes, batch.cols,
-                      len(keep))
+                      int(take.size))
 
     def _extend(self, batch: _Batch, node: Extend) -> _Batch:
         names = (
@@ -340,26 +506,22 @@ class ColumnarEngine(Engine):
         rkeys = [
             right.column_array(right.position(rc)) for _lc, rc in node.pairs
         ]
-        # hash join: build on the right side, probe left rows in order —
-        # identical row order to the eager operator
-        table: dict[tuple, list[int]] = {}
-        for j in range(right.nrows):
-            key = tuple(_freeze(k[j]) for k in rkeys)
-            if any(k is None for k in key):
-                continue  # NULLs never join
-            table.setdefault(key, []).append(j)
-        lpos: list[int] = []
-        rpos: list[int] = []
-        for i in range(left.nrows):
-            key = tuple(_freeze(k[i]) for k in lkeys)
-            if any(k is None for k in key):
-                continue
-            matches = table.get(key)
-            if matches:
-                lpos.extend([i] * len(matches))
-                rpos.extend(matches)
-        ltake = np.asarray(lpos, dtype=np.intp)
-        rtake = np.asarray(rpos, dtype=np.intp)
+        taken = None
+        if len(node.pairs) == 1:
+            ldt = left.cols[left.position(node.pairs[0][0])][2].dtype
+            rdt = right.cols[right.position(node.pairs[0][1])][2].dtype
+            if _factorizable(ldt, rdt):
+                try:
+                    taken = _factorize_join(lkeys[0], rkeys[0])
+                except TypeError:
+                    # a cell violating its declared dtype broke the sort:
+                    # the dict kernels reproduce the oracle regardless
+                    taken = None
+            if taken is None and ldt in SCALAR_DTYPES and rdt in SCALAR_DTYPES:
+                taken = _scalar_join(lkeys[0], rkeys[0])
+        if taken is None:
+            taken = _tuple_join(lkeys, rkeys)
+        ltake, rtake = taken
         indexes = [_compose(idx, ltake) for idx in left.indexes]
         indexes += [_compose(idx, rtake) for idx in right.indexes]
         sources = left.sources + right.sources
@@ -378,7 +540,8 @@ class ColumnarEngine(Engine):
             src_i, src_name, _old = right.cols[kept_pos]
             cols.append((src_i + shift, src_name, out_col))
         return _Batch(
-            f"{left.name}⋈{right.name}", sources, indexes, cols, len(lpos)
+            f"{left.name}⋈{right.name}", sources, indexes, cols,
+            int(ltake.size),
         )
 
     # -- late materialization ----------------------------------------------
@@ -491,7 +654,15 @@ def _sink(sel: Select, node: RelationExpr) -> RelationExpr:
             sources = tuple(inverse.get(c, c) for c in columns)
             pushed = predicate
             if sources != columns:
-                pushed = _remapped(predicate, columns, sources)
+                if isinstance(predicate, Predicate):
+                    # structured predicates rewrite their column names in
+                    # place, keeping the shape (and the vectorized mask)
+                    # a re-keying lambda wrapper would destroy
+                    pushed = predicate.rename(
+                        {c: s for c, s in zip(columns, sources) if c != s}
+                    )
+                else:
+                    pushed = _remapped(predicate, columns, sources)
             inner = Select(node.target, (), pushed, sources)
             return Rename(_sink(inner, node.target), node.mapping)
         return Select(node, conditions, predicate, columns)

@@ -109,7 +109,13 @@ class RelationExpr:
         """σ — keep rows for which ``predicate(row_as_dict)`` is truthy.
 
         ``columns`` optionally restricts the dict handed to the predicate
-        (and lets engines push the selection past joins)."""
+        (and lets engines push the selection past joins).  Structured
+        predicates (:mod:`repro.relation.predicates`) declare their inputs
+        themselves, so the restriction is derived when omitted."""
+        if columns is None:
+            referenced = getattr(predicate, "referenced_columns", None)
+            if callable(referenced):
+                columns = referenced()
         return Select(
             self, (), predicate,
             None if columns is None else tuple(columns),
