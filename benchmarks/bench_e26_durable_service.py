@@ -1,0 +1,332 @@
+"""E26 — durable store + concurrent service (crash-consistency & throughput).
+
+The claim under test is the tentpole contract of the durable platform
+layer: a :class:`~repro.platform.MarketStore`-backed market survives a
+hard process kill (SIGKILL, no atexit, no flush courtesy) and cold-starts
+to the *identical* observable state — same graph version, same join
+candidates and fan-outs, same component fingerprints, same search hits
+and plan outputs.  Meanwhile :class:`~repro.platform.MarketService` keeps
+N writers and M readers honest: every pinned read pair answers against
+one graph version (no torn reads), and each version maps to exactly one
+answer digest across all reader threads.
+
+Reported metrics (``BENCH_E26.json``, gated by
+``scripts/check_bench_regression.py``):
+
+* ``restart_consistent`` — killed-writer digest == cold-start digest
+* ``rps`` / ``p50_ms`` / ``p99_ms`` — contended pinned read pairs
+  (search + plan) with 4 writers churning deltas underneath 8 readers
+* ``p99_latency_ratio`` — uncontended p99 / contended p99; a floor on
+  how much write contention may inflate tail read latency
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import DataMarket
+from repro.platform import MarketService
+
+from repro.relation import Column, Relation
+
+HERE = Path(__file__).resolve()
+SRC = HERE.parent.parent / "src"
+
+N_WRITERS = 4
+N_READERS = 8
+
+
+def joinable(name: str, offset: int = 0, n: int = 30) -> Relation:
+    """A relation joinable with every other on ``key``."""
+    return Relation(
+        name,
+        [Column("key", "int"), Column(f"{name}_val", "float")],
+        [(k, float(k + offset)) for k in range(n)],
+    )
+
+
+def market_digest(market: DataMarket) -> dict:
+    """Full observable-state rendering, normalized to JSON scalars."""
+    attrs = ["key", "base_val"]
+    search = market.search(attrs)
+    plan = market.plan(attrs)
+    digest = {
+        "graph_version": market.graph_version,
+        "datasets": market.datasets,
+        "candidates": {
+            ds: [
+                (
+                    c.left_dataset, c.left_column,
+                    c.right_dataset, c.right_column,
+                    round(c.score, 9), c.pk_side, repr(c.fanout),
+                )
+                for c in market.index.dataset_candidates(ds)
+            ]
+            for ds in market.datasets
+        },
+        "fingerprints": list(market.index.component_fingerprints()),
+        "search_as_of": search.as_of,
+        "search_hits": [repr(h) for h in search.hits],
+        "plans": [m.plan.describe() for m in plan.mashups],
+        "plan_rows": [
+            [repr(row) for row in m.relation.rows] for m in plan.mashups
+        ],
+    }
+    # round-trip so tuples/lists compare equal across the process boundary
+    return json.loads(json.dumps(digest, sort_keys=True))
+
+
+def read_digest(search, plan) -> str:
+    """One reader observation — must be unique per graph version."""
+    return json.dumps(
+        {
+            "hits": [repr(h) for h in search.hits],
+            "plans": [m.plan.describe() for m in plan.mashups],
+        },
+        sort_keys=True,
+    )
+
+
+def _child_main(store_path: str, expected_path: str, n_extra: int) -> None:
+    """Runs in a subprocess: build a store-backed market, record the
+    expected digest, then die hard — no close(), no final commit help."""
+    market = DataMarket(store=store_path)
+    market.register_dataset(joinable("base"), seller="acme", reserve_price=1.0)
+    for i in range(n_extra):
+        market.register_dataset(joinable(f"ds{i}", offset=i + 1), seller="acme")
+    Path(expected_path).write_text(
+        json.dumps(market_digest(market), sort_keys=True)
+    )
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+# ---------------------------------------------------------------------------
+# phase 1: kill -9 the writer, cold-start from the store
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def restart_run(tmp_path_factory, request):
+    smoke = request.config.getoption("--smoke")
+    tmp = tmp_path_factory.mktemp("e26_restart")
+    store_path = tmp / "durable.db"
+    expected_path = tmp / "expected.json"
+    n_extra = 4 if smoke else 12
+    code = (
+        "import importlib.util\n"
+        "spec = importlib.util.spec_from_file_location"
+        f"('bench_e26_child', {str(HERE)!r})\n"
+        "mod = importlib.util.module_from_spec(spec)\n"
+        "spec.loader.exec_module(mod)\n"
+        f"mod._child_main({str(store_path)!r}, {str(expected_path)!r}, "
+        f"{n_extra})\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    if proc.returncode != -signal.SIGKILL:
+        raise AssertionError(
+            f"killed writer exited {proc.returncode}, stderr:\n{proc.stderr}"
+        )
+    expected = json.loads(expected_path.read_text())
+    replayed = DataMarket(store=str(store_path))
+    actual = market_digest(replayed)
+    return {
+        "returncode": proc.returncode,
+        "n_datasets": n_extra + 1,
+        "expected": expected,
+        "actual": actual,
+        "consistent": expected == actual,
+    }
+
+
+# ---------------------------------------------------------------------------
+# phase 2: N writers vs M readers through MarketService
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def service_run(tmp_path_factory, request):
+    smoke = request.config.getoption("--smoke")
+    writes_per_writer = 3 if smoke else 10
+    reads_per_reader = 8 if smoke else 40
+    tmp = tmp_path_factory.mktemp("e26_service")
+
+    market = DataMarket(store=str(tmp / "svc.db"))
+    service = MarketService(market)
+    service.register_dataset(joinable("base"), "acme").result(60)
+    attrs = ["key", "base_val"]
+    errors: list[BaseException] = []
+
+    def reader(min_reads, latencies, observations, writers_done):
+        # at least ``min_reads`` pinned pairs, and keep reading while
+        # writers are still churning so the version stream is observed
+        try:
+            done = 0
+            while done < min_reads or (
+                not writers_done.is_set() and done < 50 * min_reads
+            ):
+                t0 = time.perf_counter()
+                with service.pinned() as view:
+                    s = view.search(attrs)
+                    p = view.plan(attrs)
+                latencies.append(time.perf_counter() - t0)
+                observations.append((view.as_of, read_digest(s, p)))
+                done += 1
+        except BaseException as exc:  # surfaces in the acceptance gate
+            errors.append(exc)
+
+    def writer(wid):
+        # a short think-time between deltas: the lock is writer-preferring,
+        # so back-to-back submissions from 4 sellers would keep the delta
+        # queue saturated and starve readers by design — real sellers
+        # don't submit in a closed loop
+        try:
+            for i in range(writes_per_writer):
+                service.register_dataset(
+                    joinable(f"w{wid}_ds{i}", offset=100 * wid + i), "acme"
+                ).result(120)
+                time.sleep(0.02)
+        except BaseException as exc:
+            errors.append(exc)
+
+    # uncontended baseline: readers only
+    no_writers = threading.Event()
+    no_writers.set()
+    un_lat: list[float] = []
+    un_obs: list[tuple[int, str]] = []
+    threads = [
+        threading.Thread(
+            target=reader, args=(reads_per_reader, un_lat, un_obs, no_writers)
+        )
+        for _ in range(N_READERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # contended: writers churn deltas underneath the same read load
+    writers_done = threading.Event()
+    co_lat: list[float] = []
+    co_obs: list[tuple[int, str]] = []
+    writer_threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(N_WRITERS)
+    ]
+    reader_threads = [
+        threading.Thread(
+            target=reader, args=(reads_per_reader, co_lat, co_obs, writers_done)
+        )
+        for _ in range(N_READERS)
+    ]
+    t_start = time.perf_counter()
+    for t in writer_threads + reader_threads:
+        t.start()
+    for t in writer_threads:
+        t.join()
+    writers_done.set()
+    for t in reader_threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+
+    service.flush()
+    status = service.status()
+    service.close()
+
+    by_version: dict[int, set[str]] = {}
+    for as_of, digest in un_obs + co_obs:
+        by_version.setdefault(as_of, set()).add(digest)
+    torn = {v: len(d) for v, d in by_version.items() if len(d) > 1}
+
+    return {
+        "errors": errors,
+        "status": status,
+        "writes": N_WRITERS * writes_per_writer,
+        "reads": len(co_lat),
+        "versions_observed": len(by_version),
+        "torn_versions": torn,
+        "rps": len(co_lat) / elapsed if elapsed else 0.0,
+        "p50_ms": 1e3 * _percentile(co_lat, 0.50),
+        "p99_ms": 1e3 * _percentile(co_lat, 0.99),
+        "uncontended_p99_ms": 1e3 * _percentile(un_lat, 0.99),
+        "p99_latency_ratio": (
+            _percentile(un_lat, 0.99) / _percentile(co_lat, 0.99)
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+def test_e26_report(restart_run, service_run, table, bench_json, smoke):
+    table(
+        ["phase", "metric", "value"],
+        [
+            ("restart", "datasets before kill", restart_run["n_datasets"]),
+            ("restart", "child exit", restart_run["returncode"]),
+            ("restart", "cold start consistent", restart_run["consistent"]),
+            ("service", "writers x writes", service_run["writes"]),
+            ("service", "pinned read pairs", service_run["reads"]),
+            ("service", "versions observed", service_run["versions_observed"]),
+            ("service", "torn versions", len(service_run["torn_versions"])),
+            ("service", "read pairs / s", f"{service_run['rps']:.1f}"),
+            ("service", "p50 ms", f"{service_run['p50_ms']:.2f}"),
+            ("service", "p99 ms", f"{service_run['p99_ms']:.2f}"),
+            ("service", "uncontended p99 ms",
+             f"{service_run['uncontended_p99_ms']:.2f}"),
+            ("service", "p99 ratio (un/contended)",
+             f"{service_run['p99_latency_ratio']:.3f}"),
+        ],
+        title="E26 durable store under concurrent service"
+        + (" [smoke]" if smoke else ""),
+    )
+    bench_json(
+        "E26",
+        restart_consistent=restart_run["consistent"],
+        rps=round(service_run["rps"], 2),
+        p50_ms=round(service_run["p50_ms"], 3),
+        p99_ms=round(service_run["p99_ms"], 3),
+        p99_latency_ratio=round(service_run["p99_latency_ratio"], 4),
+        torn_versions=len(service_run["torn_versions"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# acceptance gates
+# ---------------------------------------------------------------------------
+
+def test_killed_writer_cold_starts_bit_identical(restart_run):
+    assert restart_run["returncode"] == -signal.SIGKILL
+    assert restart_run["expected"] == restart_run["actual"]
+    assert restart_run["consistent"] is True
+
+
+def test_no_reader_observed_a_torn_version(service_run):
+    assert service_run["errors"] == []
+    assert service_run["torn_versions"] == {}
+    # churn actually happened while readers were in flight
+    assert service_run["versions_observed"] >= 2
+
+
+def test_every_concurrent_write_applied(service_run):
+    status = service_run["status"]
+    assert status["failed"] == 0
+    # base + one delta per concurrent write
+    assert status["graph_version"] >= service_run["writes"]
+    assert status["pending"] == 0

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Guard against silent durable-store schema drift.
+
+Three renderings of the :mod:`repro.platform.store` schema must agree:
+
+1. the **live schema** — tables and columns an actual ``MarketStore``
+   creates in a fresh SQLite file (``sqlite_master`` + ``PRAGMA
+   table_info``, skipping SQLite internals and the FTS shadow tables),
+2. the **documented schema** — ``repro.platform.store.TABLES``, the
+   module-level column map the store keeps next to its DDL,
+3. the **README schema table** — the markdown table in the
+   "Durability & concurrency" section.
+
+Whoever edits the DDL must touch all three, and the migration policy
+(bump ``SCHEMA_VERSION``) along with it — this script failing in CI is
+the reminder.  Usage: ``python scripts/check_store_schema.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.platform.store import TABLES, MarketStore  # noqa: E402
+
+README = ROOT / "README.md"
+
+
+def live_schema() -> dict[str, tuple[str, ...]]:
+    import sqlite3
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "schema_probe.db"
+        MarketStore(path)
+        conn = sqlite3.connect(path)
+        try:
+            names = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            ]
+            schema = {}
+            for name in names:
+                if name.startswith("sqlite_") or name.startswith("dataset_fts"):
+                    continue  # SQLite internals / FTS5 shadow tables
+                cols = tuple(
+                    row[1]
+                    for row in conn.execute(f"PRAGMA table_info({name!r})")
+                )
+                schema[name] = cols
+            return schema
+        finally:
+            conn.close()
+
+
+def readme_schema() -> dict[str, tuple[str, ...]]:
+    """Parse the README's schema table: | `name` | ... | col, col, ... |"""
+    text = README.read_text()
+    schema = {}
+    for line in text.splitlines():
+        m = re.match(r"\|\s*`(\w+)`\s*\|[^|]*\|([^|]+)\|\s*$", line)
+        if m and m.group(1) in TABLES:
+            cols = tuple(
+                c.strip().strip("`") for c in m.group(2).split(",") if c.strip()
+            )
+            schema[m.group(1)] = cols
+    return schema
+
+
+def diff(label_a: str, a: dict, label_b: str, b: dict) -> list[str]:
+    problems = []
+    for table in sorted(set(a) | set(b)):
+        if table not in a:
+            problems.append(f"{table}: in {label_b} but missing from {label_a}")
+        elif table not in b:
+            problems.append(f"{table}: in {label_a} but missing from {label_b}")
+        elif a[table] != b[table]:
+            problems.append(
+                f"{table}: {label_a} columns {list(a[table])} != "
+                f"{label_b} columns {list(b[table])}"
+            )
+    return problems
+
+
+def main() -> int:
+    live = live_schema()
+    documented = dict(TABLES)
+    readme = readme_schema()
+
+    problems = diff("live sqlite", live, "store.TABLES", documented)
+    if not readme:
+        problems.append(
+            f"no schema table found in {README.name} "
+            "(expected rows like '| `datasets` | ... | col, col |')"
+        )
+    else:
+        problems += diff("store.TABLES", documented, "README", readme)
+
+    if problems:
+        print("STORE SCHEMA DRIFT:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        print(
+            "\nkeep the DDL, repro.platform.store.TABLES and the README "
+            "schema table in lockstep (and bump SCHEMA_VERSION on any "
+            "layout change)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"store schema consistent across sqlite, store.TABLES and README "
+        f"({len(live)} tables)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -364,18 +364,21 @@ class IndexBuilder:
         """Insert one edge per predicate between ``u`` and ``v`` (in the
         deterministic order of :meth:`_pair_predicates`)."""
         for pred in self._pair_predicates(u, v):
-            self._graph.add_edge(
-                pred.left_dataset, pred.right_dataset,
-                key=pred.pairs,
-                left_dataset=pred.left_dataset,
-                left=pred.left_column,
-                right=pred.right_column,
-                pairs=pred.pairs,
-                score=pred.score,
-                evidence=pred.evidence,
-                pk_side=pred.pk_side,
-                fanout=pred.fanout,
-            )
+            self._insert_edge(pred)
+
+    def _insert_edge(self, pred: JoinPredicate) -> None:
+        self._graph.add_edge(
+            pred.left_dataset, pred.right_dataset,
+            key=pred.pairs,
+            left_dataset=pred.left_dataset,
+            left=pred.left_column,
+            right=pred.right_column,
+            pairs=pred.pairs,
+            score=pred.score,
+            evidence=pred.evidence,
+            pk_side=pred.pk_side,
+            fanout=pred.fanout,
+        )
 
     def _pair_predicates(self, u: str, v: str) -> list[JoinPredicate]:
         """All join predicates between two datasets, derived deterministically
@@ -658,6 +661,88 @@ class IndexBuilder:
             if len(ids) > 1:
                 return False
         return True
+
+    # -- durable-store serialization hooks --------------------------------
+    def registration_order(self, name: str) -> int:
+        """The dataset's registration-order rank (fixes the canonical
+        orientation of its candidates; persisted so replay re-registers in
+        the original order)."""
+        try:
+            return self._order[name]
+        except KeyError:
+            raise DiscoveryError(
+                f"dataset {name!r} is not indexed"
+            ) from None
+
+    def dataset_candidates(self, name: str) -> list[JoinCandidate]:
+        """All stored candidates involving ``name`` in their *canonical*
+        (registration-order) orientation — the exact dict payload, so a
+        store can persist and later :meth:`restore_state` them verbatim."""
+        self._ensure_fresh()
+        return [
+            self._candidates[k] for k in sorted(self._pairs_of.get(name, ()))
+        ]
+
+    def dataset_edges(self, name: str) -> list[JoinPredicate]:
+        """Every relationship-graph predicate on a pair involving ``name``,
+        in deterministic (neighbour, per-pair) order."""
+        self._ensure_fresh()
+        preds: list[JoinPredicate] = []
+        if name not in self._graph:
+            return preds
+        for other in sorted(self._graph.neighbors(name)):
+            preds.extend(self._pair_predicates(name, other))
+        return preds
+
+    def lsh_band_keys(self, signature) -> list[tuple[int, ...]]:
+        """The banded bucket keys this builder derives for a signature
+        (pure function of the signature and the banding configuration —
+        what the durable store persists per column)."""
+        bands = self.lsh_bands or signature.num_perm
+        rows = signature.num_perm // bands
+        return [
+            tuple(
+                int(x)
+                for x in signature.signature[b * rows : (b + 1) * rows]
+            )
+            for b in range(bands)
+        ]
+
+    def restore_state(
+        self,
+        *,
+        profiles: list[TableProfile],
+        candidates: Iterable[JoinCandidate],
+        edges: Iterable[JoinPredicate],
+        graph_version: int,
+    ) -> None:
+        """Cold-start replay: adopt persisted derived state wholesale.
+
+        ``profiles`` must arrive in original registration order (it fixes
+        candidate orientation), ``candidates``/``edges`` are re-installed
+        verbatim — no re-scoring — and LSH buckets are rebuilt from the
+        restored signatures (band keys are a pure function of a signature,
+        so the buckets are bit-identical to the persisted ones).  The graph
+        version continues from the stored counter, preserving the platform's
+        ``as_of`` monotonicity across restarts."""
+        self._profiles = {p.dataset: p for p in profiles}
+        self._order = {p.dataset: i for i, p in enumerate(profiles)}
+        self._next_order = len(self._order)
+        self._rebuild_buckets()
+        self._candidates = {}
+        self._pairs_of = {p.dataset: set() for p in profiles}
+        for cand in candidates:
+            self._store_candidate(cand)
+        self._sorted = None
+        self._graph = nx.MultiGraph()
+        for p in profiles:
+            self._graph.add_node(p.dataset, n_rows=p.n_rows)
+        for pred in edges:
+            self._insert_edge(pred)
+        self._graph_version = int(graph_version)
+        self._components_version = -1
+        self._fingerprints_version = -1
+        self._stale = False
 
 
 def _dtypes_compatible(a: str, b: str) -> bool:

@@ -165,6 +165,34 @@ class MetadataEngine:
         self._notify(delta)
         return delta
 
+    # -- cold-start replay (durable-store hooks) -------------------------
+    def restore_lifecycle(
+        self, relation: Relation, snapshot: ContextSnapshot
+    ) -> None:
+        """Adopt a persisted dataset wholesale: no profiling, no delta.
+
+        The durable store replays datasets in registration order, so the
+        lifecycle dict's insertion order — which fixes :meth:`profiles`
+        order and hence candidate orientation downstream — matches the
+        original process exactly.  Only the current snapshot is restored;
+        prior snapshot history is process-resident by design."""
+        if relation.name != snapshot.dataset:
+            raise DiscoveryError(
+                f"snapshot is for {snapshot.dataset!r}, "
+                f"not {relation.name!r}"
+            )
+        self._lifecycles[relation.name] = DatasetLifecycle(
+            relation, [snapshot]
+        )
+
+    def restore_clock(self, clock: int, newest_logical_time: int) -> None:
+        """Restore logical-time counters so post-replay registrations keep
+        the monotonic ordering that survived in the store."""
+        self._clock = max(self._clock, int(clock))
+        self._newest_logical_time = max(
+            self._newest_logical_time, int(newest_logical_time)
+        )
+
     def subscribe(self, listener: MetadataListener) -> MetadataListener:
         """Call ``listener(delta)`` on every change; returns the listener as
         a detach token for :meth:`unsubscribe`."""
@@ -181,6 +209,13 @@ class MetadataEngine:
                 "listener is not subscribed to this metadata engine"
             ) from None
 
+    @property
+    def subscribers(self) -> tuple[MetadataListener, ...]:
+        """The live delta listeners (read-only view).  Teardown code — and
+        the tests guarding it — asserts this empties when a consumer stack
+        detaches, so long-running deployments cannot leak listeners."""
+        return tuple(self._listeners)
+
     def _notify(self, delta: MetadataDelta) -> None:
         for listener in list(self._listeners):
             listener(delta)
@@ -196,6 +231,11 @@ class MetadataEngine:
     @property
     def datasets(self) -> list[str]:
         return sorted(self._lifecycles)
+
+    @property
+    def clock(self) -> int:
+        """The logical clock (ticks once per accepted snapshot)."""
+        return self._clock
 
     @property
     def newest_logical_time(self) -> int:

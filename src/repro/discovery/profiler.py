@@ -100,6 +100,42 @@ class TableProfile:
             ) from None
 
 
+def column_profile_record(profile: ColumnProfile) -> dict:
+    """JSON-ready record of one column profile, minus the MinHash signature
+    (the durable store carries that separately as a binary payload via
+    :meth:`~repro.sketches.MinHash.to_bytes`)."""
+    return {
+        "column": profile.column,
+        "dtype": profile.dtype,
+        "semantic": profile.semantic,
+        "distinct_fraction": profile.distinct_fraction,
+        "content_hash": profile.content_hash,
+        "numeric": (
+            None if profile.numeric is None else profile.numeric.to_dict()
+        ),
+        "categorical": profile.categorical.to_dict(),
+    }
+
+
+def column_profile_from_record(
+    dataset: str, record: dict, signature: MinHash
+) -> ColumnProfile:
+    """Inverse of :func:`column_profile_record`: bit-identical fields, with
+    the signature supplied from its own round-tripped payload."""
+    numeric = record.get("numeric")
+    return ColumnProfile(
+        dataset=dataset,
+        column=record["column"],
+        dtype=record["dtype"],
+        semantic=record["semantic"],
+        signature=signature,
+        numeric=None if numeric is None else NumericSummary.from_dict(numeric),
+        categorical=CategoricalSummary.from_dict(record["categorical"]),
+        distinct_fraction=float(record["distinct_fraction"]),
+        content_hash=record["content_hash"],
+    )
+
+
 def column_content_hash(
     relation: Relation, name: str, *, columnar: bool | None = None
 ) -> str:

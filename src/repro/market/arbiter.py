@@ -224,6 +224,30 @@ class Arbiter:
             },
         )
 
+    def adopt_dataset(
+        self,
+        name: str,
+        seller: str,
+        reserve_price: float,
+        license: License | None,
+        policy: ContextualIntegrityPolicy | None,
+    ) -> None:
+        """Durable-store replay: restore market-side registration state for
+        a dataset whose discovery state is being replayed separately.
+
+        Unlike :meth:`accept_dataset` this never touches the builder — the
+        store re-installs profiles/candidates/edges wholesale — it only
+        re-opens the seller's account (if needed), re-registers the license
+        and reserve, and records the replay in the audit log."""
+        if seller not in self.ledger:
+            self.register_participant(seller)
+        self.licenses.register(name, owner=seller, license=license, policy=policy)
+        self._reserves[name] = reserve_price
+        self.audit.append(
+            "dataset_replayed",
+            {"dataset": name, "seller": seller, "reserve": reserve_price},
+        )
+
     def retire_dataset(self, dataset: str) -> None:
         """Seller withdrawal: prune the dataset from discovery in place.
 
@@ -264,6 +288,10 @@ class Arbiter:
     def pending_wtps(self) -> int:
         """WTP functions queued for the next round."""
         return len(self._pending_wtps)
+
+    def reserve_price_of(self, dataset: str) -> float:
+        """The live reserve price of a registered dataset (0.0 default)."""
+        return self._reserves.get(dataset, 0.0)
 
     # ------------------------------------------------------------------
     # the round

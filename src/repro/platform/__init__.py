@@ -7,6 +7,8 @@ Plan results carry unevaluated relation trees — ``materialize`` (or
 """
 
 from .market import DataMarket
+from .service import MarketService, PinnedView, ServiceError, WriteTicket
+from .store import MarketStore, StoreError
 from .results import (
     DisputeResult,
     InfoRequestView,
@@ -25,6 +27,12 @@ from .results import (
 
 __all__ = [
     "DataMarket",
+    "MarketStore",
+    "MarketService",
+    "PinnedView",
+    "StoreError",
+    "ServiceError",
+    "WriteTicket",
     "RegisterResult",
     "RetireResult",
     "SearchResult",

@@ -58,6 +58,7 @@ from ..market.trusts import DataTrust
 from ..mashup import MashupBuilder
 from ..relation import Relation, Schema
 from ..wtp import WTPFunction
+from .store import MarketStore
 from .results import (
     DisputeResult,
     InfoRequestView,
@@ -114,6 +115,7 @@ class DataMarket:
         plan_cache_size: int = 128,
         exec_engine: str = "columnar",
         cost_model: bool = True,
+        store: MarketStore | str | None = None,
     ):
         self.design = design if design is not None else external_market()
         self.exec_engine = exec_engine
@@ -135,11 +137,32 @@ class DataMarket:
         self._dispute_desk: DisputeDesk | None = None
         self._insurance_desk: InsuranceDesk | None = None
         self._trusts: dict[str, DataTrust] = {}
+        #: optional durable store — a path (or a MarketStore) makes every
+        #: dataset delta crash-safe and cold-starts this market by replay
+        self._store: MarketStore | None = None
+        if store is not None:
+            self._store = (
+                store if isinstance(store, MarketStore)
+                else MarketStore(store)
+            )
+            self._store.replay_into(self)
 
     # -- internal layer, exposed read-only for observability ---------------
     @property
     def builder(self) -> MashupBuilder:
         return self.arbiter.builder
+
+    @property
+    def store(self) -> MarketStore | None:
+        """The durable store backing this market (None when ephemeral)."""
+        return self._store
+
+    def persist_plan_cache(self) -> int:
+        """Persist the serializable part of the plan cache so a restart
+        replays warm; returns entries written (0 without a store)."""
+        if self._store is None:
+            return 0
+        return self._store.save_plan_cache(self)
 
     @property
     def metadata(self):
@@ -287,6 +310,8 @@ class DataMarket:
             policy=policy,
         )
         snapshot = self.metadata.snapshot(relation.name)
+        if self._store is not None:
+            self._store.persist_dataset(self, relation.name)
         return RegisterResult(
             dataset=relation.name,
             seller=seller,
@@ -305,6 +330,8 @@ class DataMarket:
             )
         seller = self.arbiter.licenses.owner_of(dataset)
         self.arbiter.retire_dataset(dataset)
+        if self._store is not None:
+            self._store.persist_retire(self, dataset)
         return RetireResult(
             dataset=dataset, seller=seller, as_of=self.graph_version
         )

@@ -57,6 +57,32 @@ class NumericSummary:
             bin_counts=tuple(int(c) for c in counts),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload (floats round-trip exactly, NaN included)."""
+        return {
+            "count": self.count,
+            "nulls": self.nulls,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+            "bin_edges": list(self.bin_edges),
+            "bin_counts": list(self.bin_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "NumericSummary":
+        return cls(
+            count=int(data["count"]),
+            nulls=int(data["nulls"]),
+            minimum=float(data["minimum"]),
+            maximum=float(data["maximum"]),
+            mean=float(data["mean"]),
+            std=float(data["std"]),
+            bin_edges=tuple(float(e) for e in data["bin_edges"]),
+            bin_counts=tuple(int(c) for c in data["bin_counts"]),
+        )
+
     def overlap(self, other: "NumericSummary") -> float:
         """Fraction of this column's range covered by the other's range."""
         if self.count == 0 or other.count == 0:
@@ -138,6 +164,23 @@ class CategoricalSummary:
         )
         top = tuple(above + [(k, thresh) for k in at])
         return cls(count=count, nulls=nulls, distinct=n, top=top)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "nulls": self.nulls,
+            "distinct": self.distinct,
+            "top": [[k, v] for k, v in self.top],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CategoricalSummary":
+        return cls(
+            count=int(data["count"]),
+            nulls=int(data["nulls"]),
+            distinct=int(data["distinct"]),
+            top=tuple((str(k), int(v)) for k, v in data["top"]),
+        )
 
     @property
     def null_fraction(self) -> float:

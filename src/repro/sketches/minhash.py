@@ -24,6 +24,7 @@ profiling paths therefore produce identical signatures by construction
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -198,12 +199,13 @@ def _permutations(num_perm: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
 class MinHash:
     """A fixed-width MinHash signature over a set of values."""
 
-    __slots__ = ("num_perm", "_a", "_b", "signature", "count")
+    __slots__ = ("num_perm", "seed", "_a", "_b", "signature", "count")
 
     def __init__(self, num_perm: int = 64, seed: int = 7):
         if num_perm < 1:
             raise ValueError("num_perm must be >= 1")
         self.num_perm = num_perm
+        self.seed = seed
         self._a, self._b = _permutations(num_perm, seed)
         self.signature = np.full(num_perm, _PRIME, dtype=np.int64)
         #: distinct tokens folded in (per update call; duplicate tokens never
@@ -301,6 +303,7 @@ class MinHash:
             raise ValueError("signatures have different widths")
         merged = MinHash.__new__(MinHash)
         merged.num_perm = self.num_perm
+        merged.seed = self.seed
         merged._a, merged._b = self._a, self._b
         merged.signature = np.minimum(self.signature, other.signature)
         merged.count = self.count + other.count
@@ -308,6 +311,35 @@ class MinHash:
 
     def digest(self) -> tuple[int, ...]:
         return tuple(int(v) for v in self.signature)
+
+    #: serialized header: num_perm, seed, count (little-endian, fixed width)
+    _HEADER = struct.Struct("<iiq")
+
+    def to_bytes(self) -> bytes:
+        """Round-trippable serialization: header (num_perm, seed, count)
+        followed by the signature as little-endian int64 — the durable
+        store's column-signature payload."""
+        header = self._HEADER.pack(self.num_perm, self.seed, self.count)
+        return header + self.signature.astype("<i8").tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MinHash":
+        """Rebuild a signature serialized by :meth:`to_bytes`, bit-identical:
+        permutation coefficients are re-derived from (num_perm, seed) via
+        the shared cache, the signature vector is restored verbatim."""
+        num_perm, seed, count = cls._HEADER.unpack_from(data)
+        expected = cls._HEADER.size + 8 * num_perm
+        if len(data) != expected:
+            raise ValueError(
+                f"corrupt MinHash payload: {len(data)} bytes, "
+                f"expected {expected}"
+            )
+        mh = cls(num_perm=num_perm, seed=seed)
+        mh.signature = np.frombuffer(
+            data, dtype="<i8", offset=cls._HEADER.size
+        ).astype(np.int64)
+        mh.count = count
+        return mh
 
 
 def containment(small: set, big: set) -> float:

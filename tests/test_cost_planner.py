@@ -275,3 +275,62 @@ def test_hop_mode_plans_unchanged_by_memoization():
     a = plain.build(REQUEST)[0].plan.describe()
     b = memo.build(REQUEST)[0].plan.describe()
     assert a == b
+
+
+# ---------------------------------------------------------------------------
+# path-memo lifecycle (detach / re-attach / cost-model toggles)
+# ---------------------------------------------------------------------------
+
+def test_path_memo_cleared_on_detach():
+    b = skew_builder(cost_model=True, plan_cache=False)
+    b.build(REQUEST)
+    assert b.dod._path_cache  # warm after a cost-model build
+    b.dod.detach()
+    assert b.dod._path_cache == {}
+    assert b.dod._path_cache_version == -1
+    assert b.dod._path_cache_index is None
+
+
+def test_path_memo_not_served_after_reattach_to_other_index():
+    """Re-pointing an engine at a *different* index whose graph-version
+    counter happens to coincide must not serve the old graph's memoized
+    paths — the memo is keyed by index identity, not just version."""
+    a = skew_builder(cost_model=True, plan_cache=False)
+    b = skew_builder(cost_model=True, plan_cache=False)
+    a.build(REQUEST)
+    b.build(REQUEST)
+    # identically-built stacks: the version counters coincide, which is
+    # exactly the case a version-only memo check cannot see through
+    assert a.index.graph_version == b.index.graph_version
+    dod = a.dod
+    # re-point without detach: the warm memo carries a's paths under the
+    # same version number — only the identity token invalidates them
+    dod.index = b.index
+    dod.discovery = b.discovery
+    dod.engine = b.metadata
+    mashups = dod.build_mashups(REQUEST)
+    assert mashups
+    assert dod.last_stats.path_cache_misses > 0
+    assert dod._path_cache_index is b.index
+    assert row_bag(mashups[0]) == row_bag(b.build(REQUEST)[0])
+
+
+def test_path_memo_respects_cost_model_toggle():
+    """The memo key includes the connector mode: toggling ``cost_model``
+    on a live engine must answer exactly like a fresh engine in that
+    mode, not from the other mode's memoized paths."""
+    b = skew_builder(cost_model=True, plan_cache=False)
+    b.build(REQUEST)
+    b.dod.cost_model = False
+    toggled = b.build(REQUEST)[0].plan.describe()
+    fresh = skew_builder(
+        cost_model=False, plan_cache=False
+    ).build(REQUEST)[0].plan.describe()
+    assert toggled == fresh
+    # and back: the cost-model answer is also mode-faithful
+    b.dod.cost_model = True
+    again = b.build(REQUEST)[0].plan.describe()
+    oracle = skew_builder(
+        cost_model=True, plan_cache=False
+    ).build(REQUEST)[0].plan.describe()
+    assert again == oracle

@@ -280,3 +280,55 @@ def test_builder_close_detaches_plan_cache_listener():
     assert market.plan(["user0"], key="userkey").cached is False
     assert market.planner._plan_cache == {}
     assert market.plan(["user0"], key="userkey").cached is False
+
+
+def test_lru_hot_entry_survives_churn_at_capacity():
+    """Regression guard on hit recency: a hot entry re-touched between
+    inserts at a full cache must survive arbitrary insert/evict churn —
+    only the cold entries rotate out."""
+    market = DataMarket(internal_market(), plan_cache_size=2)
+    for stem in STEMS:
+        for i in range(2):
+            market.register_dataset(make_ds(stem, i), seller=f"s_{stem}")
+    hot = (["user0"], "userkey")
+    cold = [(["grid0"], "gridref"), (["planet0"], "planetno"),
+            (["grid1"], "gridref"), (["planet1"], "planetno")]
+    market.plan(hot[0], key=hot[1])
+    for attrs, key in cold:
+        assert market.plan(attrs, key=key).cached is False  # insert
+        assert market.plan(hot[0], key=hot[1]).cached is True  # re-touch
+    # four inserts against size 2 with the hot entry always re-touched:
+    # every eviction hit a cold entry
+    assert market.plan_cache_stats.lru_evictions == len(cold) - 1
+    assert market.plan(hot[0], key=hot[1]).cached is True
+
+
+# ---------------------------------------------------------------------------
+# teardown: no leaked metadata listeners
+# ---------------------------------------------------------------------------
+
+def test_builder_close_unsubscribes_every_listener():
+    """`MashupBuilder.close()` must walk the whole detach chain: after it,
+    the metadata engine holds zero subscribers — a long-running deployment
+    discarding builders must not accumulate dangling listeners."""
+    market = DataMarket(internal_market())
+    market.register_dataset(make_ds("user", 0), seller="s_user")
+    assert len(market.metadata.subscribers) > 0
+    market.builder.close()
+    assert market.metadata.subscribers == ()
+    market.builder.close()  # idempotent
+    assert market.metadata.subscribers == ()
+
+
+def test_closed_builder_receives_no_further_deltas():
+    market = DataMarket(internal_market())
+    market.register_dataset(make_ds("user", 0), seller="s_user")
+    market.plan(["user0"], key="userkey")
+    index_version = market.index.graph_version
+    market.builder.close()
+    # a delta arriving after teardown reaches no engine: the index keeps
+    # its pre-close graph and the plan cache stays empty
+    market.metadata.register(make_ds("grid", 0), owner="s_grid")
+    assert market.index.graph_version == index_version
+    assert "grid_ds0" not in market.index._profiles
+    assert market.planner._plan_cache == {}
