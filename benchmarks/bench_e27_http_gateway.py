@@ -1,0 +1,185 @@
+"""E27 — HTTP gateway overhead (concurrent clients vs in-process service).
+
+The gateway promises that putting the market on a socket costs transport,
+not semantics: N concurrent :class:`~repro.platform.MarketClient` threads
+hammering ``POST /search`` must (a) get bit-identical answers to the
+in-process façade, and (b) sustain a usable request rate — the HTTP tax
+(JSON encode, socket round trip, thread dispatch) bounded against the
+same read served in-process on the same machine.
+
+Reported metrics (``BENCH_E27.json``, gated by
+``scripts/check_bench_regression.py``):
+
+* ``rps`` — HTTP searches/second across all concurrent clients
+* ``p50_ms`` / ``p99_ms`` — per-request latency over the socket
+* ``http_efficiency`` — HTTP rps / in-process rps; a floor on how much
+  of the service's read throughput survives the network edge
+* ``answers_identical`` — every HTTP response equals the façade's
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import DataMarket
+from repro.platform import MarketClient, MarketGateway, MarketService
+from repro.relation import Column, Relation
+
+N_CLIENTS = 8
+
+
+def joinable(name: str, offset: int = 0, n: int = 30) -> Relation:
+    return Relation(
+        name,
+        [Column("key", "int"), Column(f"{name}_val", "float")],
+        [(k, float(k + offset)) for k in range(n)],
+    )
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+@pytest.fixture(scope="module")
+def gateway_run(request):
+    smoke = request.config.getoption("--smoke")
+    requests_per_client = 25 if smoke else 150
+    n_datasets = 4 if smoke else 10
+
+    market = DataMarket()
+    service = MarketService(market)
+    gateway = MarketGateway(service, tokens={"tok": "acme"}).start()
+    try:
+        seller = MarketClient(gateway.url, token="tok")
+        seller.register_dataset(joinable("base"), reserve_price=1.0)
+        for i in range(n_datasets - 1):
+            seller.register_dataset(joinable(f"ds{i}", offset=i + 1))
+
+        attrs = ["key", "base_val"]
+        expected = service.search(attrs)
+        latencies: list[float] = []
+        mismatches: list[str] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def client_loop():
+            client = MarketClient(gateway.url)
+            local_lat = []
+            try:
+                for _ in range(requests_per_client):
+                    t0 = time.perf_counter()
+                    result = client.search(attrs)
+                    local_lat.append(time.perf_counter() - t0)
+                    if result != expected:
+                        with lock:
+                            mismatches.append(
+                                f"as_of {result.as_of} != {expected.as_of} "
+                                f"or hits diverged"
+                            )
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+            with lock:
+                latencies.extend(local_lat)
+
+        threads = [
+            threading.Thread(target=client_loop) for _ in range(N_CLIENTS)
+        ]
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        http_elapsed = time.perf_counter() - t_start
+
+        # the same read volume served in-process, same thread fan-out
+        def inproc_loop():
+            try:
+                for _ in range(requests_per_client):
+                    assert service.search(attrs) == expected
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=inproc_loop) for _ in range(N_CLIENTS)
+        ]
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        inproc_elapsed = time.perf_counter() - t_start
+
+        stats = MarketClient(gateway.url).stats()
+        total = N_CLIENTS * requests_per_client
+        return {
+            "requests": total,
+            "errors": errors,
+            "mismatches": mismatches,
+            "rps": total / http_elapsed if http_elapsed else 0.0,
+            "inproc_rps": total / inproc_elapsed if inproc_elapsed else 0.0,
+            "p50_ms": 1e3 * _percentile(latencies, 0.50),
+            "p99_ms": 1e3 * _percentile(latencies, 0.99),
+            "gateway_stats": stats,
+        }
+    finally:
+        gateway.stop()
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+def test_e27_report(gateway_run, table, bench_json, smoke):
+    efficiency = (
+        gateway_run["rps"] / gateway_run["inproc_rps"]
+        if gateway_run["inproc_rps"] else 0.0
+    )
+    table(
+        ["metric", "value"],
+        [
+            ("concurrent clients", N_CLIENTS),
+            ("HTTP searches", gateway_run["requests"]),
+            ("HTTP rps", f"{gateway_run['rps']:.1f}"),
+            ("in-process rps", f"{gateway_run['inproc_rps']:.1f}"),
+            ("efficiency (http/in-proc)", f"{efficiency:.4f}"),
+            ("p50 ms", f"{gateway_run['p50_ms']:.2f}"),
+            ("p99 ms", f"{gateway_run['p99_ms']:.2f}"),
+            ("answer mismatches", len(gateway_run["mismatches"])),
+        ],
+        title="E27 HTTP gateway vs in-process service"
+        + (" [smoke]" if smoke else ""),
+    )
+    bench_json(
+        "E27",
+        rps=round(gateway_run["rps"], 2),
+        inproc_rps=round(gateway_run["inproc_rps"], 2),
+        http_efficiency=round(efficiency, 5),
+        p50_ms=round(gateway_run["p50_ms"], 3),
+        p99_ms=round(gateway_run["p99_ms"], 3),
+        answers_identical=int(not gateway_run["mismatches"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# acceptance gates
+# ---------------------------------------------------------------------------
+
+def test_no_client_errored(gateway_run):
+    assert gateway_run["errors"] == []
+
+
+def test_every_http_answer_matched_in_process(gateway_run):
+    assert gateway_run["mismatches"] == []
+
+
+def test_gateway_counted_the_load(gateway_run):
+    stats = gateway_run["gateway_stats"]
+    assert stats["requests"]["total"] >= gateway_run["requests"]
+    assert stats["latency_ms"]["p99"] is not None

@@ -1,0 +1,122 @@
+"""HTTP quickstart: the same market, but over a socket.
+
+Spins up a :class:`~repro.platform.MarketGateway` on an ephemeral port
+(exactly what ``python -m repro.platform.http`` does behind CLI flags),
+then drives the full lifecycle through the typed
+:class:`~repro.platform.MarketClient`: register → search → plan+collect →
+submit WTPs → clear a round → retire.  The client returns the same frozen
+result dataclasses as the in-process façade — ``RegisterResult`` and
+``SearchResult`` coming off the wire compare *equal* to façade ones — and
+a typed error taxonomy: a foreign-seller update raises
+``DatasetOwnershipError`` (HTTP 403), a bad token ``AuthenticationError``
+(401).
+
+Run:  python examples/http_quickstart.py
+"""
+
+from repro import DataMarket
+from repro.errors import AuthenticationError, DatasetOwnershipError
+from repro.platform import MarketClient, MarketGateway, MarketService
+from repro.relation import Column, Relation
+from repro.wtp import PriceCurve, QueryCompletenessTask, WTPFunction
+
+
+def feature_relation(name: str, offset: float) -> Relation:
+    return Relation(
+        name,
+        [Column("entity_id", "int"), Column(f"{name}_val", "float")],
+        [(i, offset + i) for i in range(40)],
+    )
+
+
+def main() -> None:
+    # --- serve one MarketService over HTTP --------------------------------
+    service = MarketService(DataMarket())
+    gateway = MarketGateway(
+        service,
+        tokens={
+            "s3cret-alice": "alice",   # bearer token -> principal
+            "s3cret-bob": "bob",
+            "s3cret-b1": "b1",
+            "s3cret-b2": "b2",
+        },
+        rate_limit=200.0,  # requests/second per token; 429 beyond
+    ).start()
+    print(f"gateway listening on {gateway.url}")
+
+    try:
+        alice = MarketClient(gateway.url, token="s3cret-alice")
+        bob = MarketClient(gateway.url, token="s3cret-bob")
+        anyone = MarketClient(gateway.url)  # reads need no token
+
+        # --- sellers register over the wire -------------------------------
+        for client, name, offset in (
+            (alice, "base", 0.0), (bob, "ext", 100.0)
+        ):
+            receipt = client.register_dataset(
+                feature_relation(name, offset), reserve_price=1.0
+            )
+            print(f"registered {receipt.dataset!r} "
+                  f"for {receipt.seller} (as_of {receipt.as_of})")
+
+        # the token IS the seller: bob cannot touch alice's dataset
+        try:
+            bob.update_dataset(feature_relation("base", 9.0))
+        except DatasetOwnershipError as exc:
+            print(f"403 as expected: {exc}")
+        try:
+            MarketClient(gateway.url, token="wrong").retire_dataset("base")
+        except AuthenticationError as exc:
+            print(f"401 as expected: {exc}")
+
+        # --- discovery + planning are unauthenticated reads ---------------
+        hits = anyone.search(["base_val", "ext_val"])
+        print(f"\nsearch: {hits.datasets} (as_of {hits.as_of})")
+        plan = anyone.plan(
+            ["entity_id", "base_val", "ext_val"], key="entity_id"
+        )
+        best = plan.best
+        print(f"best mashup joins {best.datasets}: "
+              f"{len(best.rows)} rows collected server-side")
+
+        # --- two competing buyers (RSOP needs competition) -----------------
+        b1 = MarketClient(gateway.url, token="s3cret-b1")
+        b2 = MarketClient(gateway.url, token="s3cret-b2")
+        for client, buyer, price in ((b1, "b1", 20.0), (b2, "b2", 15.0)):
+            client.register_participant(buyer, funding=100.0)
+            client.submit_wtp(WTPFunction(
+                buyer=buyer,  # informational; the token decides
+                task=QueryCompletenessTask(
+                    wanted_keys=tuple(range(40)),
+                    attributes=("entity_id", "base_val", "ext_val"),
+                    key="entity_id",
+                ),
+                curve=PriceCurve.single(0.5, price),
+            ))
+
+        summary = b1.run_round()
+        print(f"\n=== round {summary.round_index} "
+              f"(as_of {summary.as_of}) ===")
+        print(f"transactions: {summary.transactions}, "
+              f"revenue: {summary.revenue:.2f}")
+        for d in summary.deliveries:
+            shares = ", ".join(
+                f"{ds}={share:.2f}" for ds, share in d.seller_shares
+            )
+            print(f"  {d.buyer} paid {d.price_paid:.2f} "
+                  f"for {d.datasets} -> {shares}")
+        for buyer, reason in summary.rejections:
+            print(f"  {buyer} rejected: {reason}")
+
+        # --- observability -------------------------------------------------
+        stats = anyone.stats()
+        print(f"\nrequests served: {stats['requests']['total']}, "
+              f"p99: {stats['latency_ms']['p99']}ms, "
+              f"writes applied: {stats['service']['writes_applied']}")
+    finally:
+        gateway.stop()
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -130,6 +130,23 @@ class NegotiationError(MarketError):
     """A negotiation round could not be completed."""
 
 
+class AuthenticationError(MarketError):
+    """A network request carried no credential, or one the gateway does
+    not recognize (HTTP 401)."""
+
+
+class RateLimitError(MarketError):
+    """A client exceeded its request budget (HTTP 429).
+
+    ``retry_after`` is the minimum wait, in seconds, before the token
+    bucket will admit the next request; the gateway surfaces it as the
+    ``Retry-After`` response header."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SimulationError(ReproError):
     """The market simulator was configured inconsistently."""
 

@@ -9,6 +9,15 @@ Plan results carry unevaluated relation trees — ``materialize`` (or
 from .market import DataMarket
 from .service import MarketService, PinnedView, ServiceError, WriteTicket
 from .store import MarketStore, StoreError
+from .http import MarketGateway, RateLimiter, STATUS_BY_ERROR, status_for
+from .client import (
+    DeliveryView,
+    GatewayPlanResult,
+    MarketClient,
+    MashupView,
+    PinnedResult,
+    RoundSummary,
+)
 from .results import (
     DisputeResult,
     InfoRequestView,
@@ -29,10 +38,20 @@ __all__ = [
     "DataMarket",
     "MarketStore",
     "MarketService",
+    "MarketGateway",
+    "MarketClient",
+    "RateLimiter",
+    "STATUS_BY_ERROR",
+    "status_for",
     "PinnedView",
     "StoreError",
     "ServiceError",
     "WriteTicket",
+    "GatewayPlanResult",
+    "MashupView",
+    "DeliveryView",
+    "RoundSummary",
+    "PinnedResult",
     "RegisterResult",
     "RetireResult",
     "SearchResult",

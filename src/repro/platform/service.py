@@ -158,6 +158,9 @@ class MarketService:
         self._queue: queue.Queue = queue.Queue()
         self._applied = 0
         self._failed = 0
+        self._reads = 0
+        self._busy = False
+        self._counter_lock = threading.Lock()
         self._closed = False
         self._worker = threading.Thread(
             target=self._drain, name="market-writer", daemon=True
@@ -171,15 +174,20 @@ class MarketService:
             if item is _STOP:
                 break
             ticket, op = item
+            self._busy = True
             try:
                 with self._lock.write():
                     result = op()
             except BaseException as exc:  # resolved into the ticket
-                self._failed += 1
+                with self._counter_lock:
+                    self._failed += 1
                 ticket._resolve(error=exc)
             else:
-                self._applied += 1
+                with self._counter_lock:
+                    self._applied += 1
                 ticket._resolve(result=result)
+            finally:
+                self._busy = False
 
     def submit(self, op: Callable[[], object], label: str = "op") -> WriteTicket:
         """Enqueue an arbitrary mutation ``op()`` (applied by the worker
@@ -231,12 +239,38 @@ class MarketService:
             label=f"retire:{dataset}",
         )
 
+    def register_participant(
+        self, name: str, funding: float = 0.0
+    ) -> WriteTicket:
+        return self.submit(
+            lambda: self.market.register_participant(name, funding=funding),
+            label=f"participant:{name}",
+        )
+
+    def submit_wtp(self, wtp) -> WriteTicket:
+        return self.submit(
+            lambda: self.market.submit_wtp(wtp),
+            label=f"wtp:{wtp.buyer}",
+        )
+
+    def run_round(self, context: str = "*") -> WriteTicket:
+        """Clear the market (a mutation: data moves, money moves)."""
+        return self.submit(
+            lambda: self.market.run_round(context=context), label="round"
+        )
+
     # -- snapshot reads ----------------------------------------------------
+    def _count_read(self) -> None:
+        with self._counter_lock:
+            self._reads += 1
+
     def search(self, attributes, **kwargs):
+        self._count_read()
         with self._lock.read():
             return self.market.search(attributes, **kwargs)
 
     def plan(self, attributes, **kwargs):
+        self._count_read()
         with self._lock.read():
             return self.market.plan(attributes, **kwargs)
 
@@ -246,6 +280,7 @@ class MarketService:
         the same graph version (writers wait until the block exits).
         Materialize results *after* the block — trees are immutable, so
         collection outside the lock is race-free by construction."""
+        self._count_read()
         with self._lock.read():
             yield PinnedView(self.market, self.market.graph_version)
 
@@ -259,12 +294,22 @@ class MarketService:
             )
         return store
 
-    def list_datasets(self, limit: int = 50, cursor: str | None = None):
-        """Keyset-cursor dataset listing straight from the store."""
-        return self._store().list_datasets(limit=limit, cursor=cursor)
+    def list_datasets(
+        self,
+        limit: int = 50,
+        cursor: str | None = None,
+        sort: str = "registered",
+    ):
+        """Keyset-cursor dataset listing straight from the store (``sort``:
+        see :data:`repro.platform.store.LIST_SORT_KEYS`)."""
+        self._count_read()
+        return self._store().list_datasets(
+            limit=limit, cursor=cursor, sort=sort
+        )
 
     def search_text(self, query: str, limit: int = 10):
         """Full-text dataset search straight from the store."""
+        self._count_read()
         return self._store().search_datasets(query, limit=limit)
 
     # -- lifecycle ---------------------------------------------------------
@@ -278,6 +323,23 @@ class MarketService:
             "applied": self._applied,
             "failed": self._failed,
             "graph_version": self.market.graph_version,
+            "closed": self._closed,
+        }
+
+    def stats(self) -> dict:
+        """Observability snapshot (the gateway's ``GET /stats`` source):
+        ticket-queue depth, whether the writer is applying a mutation right
+        now, the committed graph version, and cumulative read/write
+        counters.  Counters are monotonic over the service's lifetime."""
+        with self._counter_lock:
+            applied, failed, reads = self._applied, self._failed, self._reads
+        return {
+            "queue_depth": self._queue.qsize(),
+            "writer_busy": self._busy,
+            "graph_version": self.market.graph_version,
+            "reads": reads,
+            "writes_applied": applied,
+            "writes_failed": failed,
             "closed": self._closed,
         }
 

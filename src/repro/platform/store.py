@@ -48,7 +48,7 @@ from ..discovery.profiler import (
     column_profile_record,
 )
 from ..discovery.stats import FanoutEstimate
-from ..errors import MarketError
+from ..errors import InvalidRequestError, MarketError
 from ..integration.dod import _PlanCacheEntry
 from ..integration.plan import JoinStep, Mashup, MashupPlan, TransformStep
 from ..integration.synthesis import AffineMap, DictionaryMap
@@ -65,6 +65,16 @@ from ..sketches import MinHash
 SCHEMA_VERSION = 1
 
 _JSON_SCALARS = (type(None), bool, int, float, str)
+
+#: valid ``list_datasets`` sort keys -> (order column, cursor-value parser,
+#: page-row field the next cursor is minted from).  The dataset name is the
+#: tiebreak column in every order, so keyset pages never skip or repeat.
+LIST_SORT_KEYS: dict[str, tuple[str, type, str]] = {
+    "registered": ("logical_time", int, "logical_time"),
+    "name": ("dataset", str, "dataset"),
+    "rows": ("n_rows", int, "rows"),
+    "reserve": ("reserve_price", float, "reserve_price"),
+}
 
 #: the store's relational schema — ``scripts/check_store_schema.py`` fails
 #: CI when this drifts from the table documented in the README
@@ -746,30 +756,63 @@ class MarketStore:
 
     # -- service reads -----------------------------------------------------
     def list_datasets(
-        self, limit: int = 50, cursor: str | None = None
+        self,
+        limit: int = 50,
+        cursor: str | None = None,
+        sort: str = "registered",
     ) -> tuple[list[dict], str | None]:
-        """Keyset-cursor page over registered datasets in registration
-        (logical-time) order.  Returns ``(rows, next_cursor)`` where a
-        ``None`` cursor means the listing is exhausted; pass the returned
-        cursor back in to fetch the next page in O(page), independent of
-        how deep the listing already is."""
-        if limit < 1:
-            raise StoreError("limit must be >= 1")
-        after_time, after_name = -1, ""
+        """Keyset-cursor page over registered datasets.
+
+        ``sort`` picks the listing order (see :data:`LIST_SORT_KEYS`);
+        the default is registration (logical-time) order, with the dataset
+        name as the deterministic tiebreak in every order.  Returns
+        ``(rows, next_cursor)`` where a ``None`` cursor means the listing
+        is exhausted; pass the returned cursor back in to fetch the next
+        page in O(page), independent of how deep the listing already is.
+        Cursors are sort-specific — a cursor minted under one sort key is
+        rejected under another when its value part does not parse.
+
+        Invalid inputs (non-positive limit, unknown sort key, malformed
+        cursor) raise a typed
+        :class:`~repro.errors.InvalidRequestError` *before* any SQL runs,
+        so network gateways can map them to a 422 instead of surfacing a
+        storage error."""
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise InvalidRequestError(
+                f"limit must be a positive integer, got {limit!r}"
+            )
+        try:
+            column, parse, field = LIST_SORT_KEYS[sort]
+        except KeyError:
+            raise InvalidRequestError(
+                f"unknown sort key {sort!r}; "
+                f"expected one of {sorted(LIST_SORT_KEYS)}"
+            ) from None
+        after: tuple | None = None
         if cursor is not None:
             try:
-                time_part, after_name = cursor.split("|", 1)
-                after_time = int(time_part)
-            except ValueError:
-                raise StoreError(f"malformed cursor {cursor!r}") from None
+                value_part, after_name = cursor.split("|", 1)
+                after = (parse(value_part), after_name)
+            except (ValueError, TypeError, AttributeError):
+                raise InvalidRequestError(
+                    f"malformed cursor {cursor!r} for sort {sort!r}"
+                ) from None
+        select = (
+            "SELECT dataset, seller, version, logical_time, n_rows, "
+            "reserve_price FROM datasets "
+        )
         with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT dataset, seller, version, logical_time, n_rows, "
-                "reserve_price FROM datasets "
-                "WHERE (logical_time, dataset) > (?, ?) "
-                "ORDER BY logical_time, dataset LIMIT ?",
-                (after_time, after_name, limit),
-            ).fetchall()
+            if after is None:
+                rows = conn.execute(
+                    select + f"ORDER BY {column}, dataset LIMIT ?",
+                    (limit,),
+                ).fetchall()
+            else:
+                rows = conn.execute(
+                    select + f"WHERE ({column}, dataset) > (?, ?) "
+                    f"ORDER BY {column}, dataset LIMIT ?",
+                    (*after, limit),
+                ).fetchall()
         page = [
             {
                 "dataset": d, "seller": s, "version": v,
@@ -778,7 +821,7 @@ class MarketStore:
             for (d, s, v, t, n, r) in rows
         ]
         next_cursor = (
-            f"{page[-1]['logical_time']}|{page[-1]['dataset']}"
+            f"{page[-1][field]}|{page[-1]['dataset']}"
             if len(page) == limit else None
         )
         return page, next_cursor

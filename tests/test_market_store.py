@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro import DataMarket
+from repro.errors import InvalidRequestError
 from repro.market.licensing import (
     ContextualIntegrityPolicy,
     License,
@@ -260,11 +261,52 @@ def test_keyset_cursor_listing_pages_without_overlap(tmp_path):
 
 
 def test_malformed_cursor_rejected(tmp_path):
+    # typed InvalidRequestError (not StoreError/sqlite) so the HTTP
+    # gateway can map listing misuse to 422 instead of a 503
     live, _ = seeded_store_market(tmp_path)
-    with pytest.raises(StoreError):
+    with pytest.raises(InvalidRequestError):
         live.store.list_datasets(cursor="not-a-cursor")
-    with pytest.raises(StoreError):
+    with pytest.raises(InvalidRequestError):
         live.store.list_datasets(limit=0)
+    with pytest.raises(InvalidRequestError):
+        live.store.list_datasets(limit="10")
+    with pytest.raises(InvalidRequestError):
+        live.store.list_datasets(cursor="not-an-int|x", sort="registered")
+    with pytest.raises(InvalidRequestError):
+        live.store.list_datasets(cursor="not-a-float|x", sort="reserve")
+
+
+def test_unknown_sort_key_rejected(tmp_path):
+    live, _ = seeded_store_market(tmp_path)
+    with pytest.raises(InvalidRequestError, match="unknown sort key"):
+        live.store.list_datasets(sort="sellerz")
+
+
+def test_sorted_listing_orders_and_pages(tmp_path):
+    live, _ = seeded_store_market(tmp_path)
+    store = live.store
+
+    def drain(sort: str, limit: int = 2) -> list[dict]:
+        rows, cursor = [], None
+        while True:
+            page, cursor = store.list_datasets(
+                limit=limit, cursor=cursor, sort=sort
+            )
+            rows.extend(page)
+            if cursor is None:
+                return rows
+
+    by_name = drain("name")
+    assert [r["dataset"] for r in by_name] == sorted(live.datasets)
+    by_rows = drain("rows")
+    assert [r["rows"] for r in by_rows] == sorted(r["rows"] for r in by_rows)
+    by_reserve = drain("reserve")
+    reserves = [r["reserve_price"] for r in by_reserve]
+    assert reserves == sorted(reserves)
+    # every order lists each dataset exactly once
+    for rows in (by_name, by_rows, by_reserve):
+        names = [r["dataset"] for r in rows]
+        assert sorted(names) == sorted(live.datasets)
 
 
 def test_fts_search_finds_by_column_and_semantic(tmp_path):
