@@ -10,10 +10,12 @@ Reads every ``BENCH_E*.json`` the benchmark session wrote (the
                "full":  {"peak_ratio": 2.0, "select_speedup": 5.0} } }
 
 Each baseline value is a **floor**: the run fails (exit 1) when a
-metric is present in the baseline but missing from the artifact, or
-falls below the committed floor.  Experiments without a baseline entry
-are reported and skipped — deliberately, so adding a bench never breaks
-CI until someone commits floors for it.
+metric is present in the baseline but missing from the artifact, falls
+below the committed floor, or — the quiet failure mode — a baselined
+experiment produced no artifact at all (a bench silently dropped from
+the matrix would otherwise "pass" forever).  Experiments without a
+baseline entry are reported and skipped — deliberately, so adding a
+bench never breaks CI until someone commits floors for it.
 
 Usage: ``python scripts/check_bench_regression.py [artifact_dir]``
 (defaults to the current directory, where pytest writes the artifacts).
@@ -36,9 +38,11 @@ def check(artifact_dir: Path) -> int:
         return 1
 
     failures: list[str] = []
+    covered: set[str] = set()
     for path in artifacts:
         data = json.loads(path.read_text())
         experiment = data.get("experiment", path.stem.replace("BENCH_", ""))
+        covered.add(experiment)
         floors = baselines.get(experiment)
         if floors is None:
             print(f"{path.name}: no baseline for {experiment}, skipped")
@@ -58,6 +62,14 @@ def check(artifact_dir: Path) -> int:
                 )
             else:
                 print(f"{path.name}: {metric} = {value} >= {floor} ({mode}) ok")
+
+    missing = sorted(set(baselines) - covered)
+    if missing:
+        failures.append(
+            f"baselined experiments with no artifact: {missing} — "
+            f"artifacts seen: {sorted(covered)} (did a bench drop out "
+            f"of the CI matrix?)"
+        )
 
     if failures:
         print("\nBENCH REGRESSIONS:", file=sys.stderr)

@@ -30,6 +30,13 @@ from repro.platform.store import TABLES, MarketStore  # noqa: E402
 
 README = ROOT / "README.md"
 
+#: columns whose presence is load-bearing beyond mere three-way agreement —
+#: replay refuses mixed-scheme corpora by reading these, so losing one
+#: silently would disable the guard rather than fail a query
+REQUIRED_COLUMNS: dict[str, tuple[str, ...]] = {
+    "column_profiles": ("scheme", "signature", "content_hash"),
+}
+
 
 def live_schema() -> dict[str, tuple[str, ...]]:
     import sqlite3
@@ -94,6 +101,14 @@ def main() -> int:
     readme = readme_schema()
 
     problems = diff("live sqlite", live, "store.TABLES", documented)
+    for table, required in REQUIRED_COLUMNS.items():
+        present = live.get(table, ())
+        for col in required:
+            if col not in present:
+                problems.append(
+                    f"{table}: required column {col!r} missing from the "
+                    f"live sqlite schema"
+                )
     if not readme:
         problems.append(
             f"no schema table found in {README.name} "

@@ -25,9 +25,14 @@ from collections import Counter
 from dataclasses import dataclass
 from difflib import SequenceMatcher
 from functools import cached_property, lru_cache
+from heapq import nsmallest
+
+import numpy as np
 
 from ..relation import Relation
+from ..relation.columnar import pack_value, unpack_value
 from ..sketches import CategoricalSummary, MinHash, NumericSummary
+from ..sketches.minhash import _hash_bytes_raw, hash_packed
 
 #: module default for the columnar fast path; flip with
 #: :func:`set_columnar_profiling` to fall back to the scalar reference
@@ -137,14 +142,25 @@ def column_profile_from_record(
 
 
 def column_content_hash(
-    relation: Relation, name: str, *, columnar: bool | None = None
+    relation: Relation, name: str, *, columnar: bool | None = None,
+    scheme: str = "classic",
 ) -> str:
     """Deterministic hash of one column's values (order-sensitive).
 
-    The columnar path digests the view's canonical byte buffer in a single
-    update; the scalar reference streams value-by-value.  Both produce the
-    same byte stream, hence bit-identical digests.
+    Under the classic scheme both paths digest the same ``repr``-based
+    separator-delimited byte stream (columnar in one C-level update, the
+    scalar reference value-by-value), hence bit-identical digests.
+
+    Under the ``"oph"`` scheme the stream is **repr-free** where the dtype
+    allows: packed canonical rows for int/float/bool columns, a
+    length-prefixed UTF-8 concatenation for str columns (both with scalar
+    reference loops that are bit-identical to the vectorized buffers);
+    ``any``-typed and subclass-bearing columns keep the repr stream.
+    Scheme-dependent by design — the two schemes hash different canonical
+    encodings, and the store refuses to mix them.
     """
+    if scheme == "oph":
+        return _oph_column_hash(relation, name, _use_columnar(columnar))
     if _use_columnar(columnar):
         return hashlib.blake2b(
             relation.columnar.canonical_bytes(name), digest_size=16
@@ -156,13 +172,259 @@ def column_content_hash(
     return h.hexdigest()
 
 
+def _oph_column_hash(relation: Relation, name: str, columnar: bool) -> str:
+    """Repr-free column hash (the ``"oph"`` canonical stream), memoized on
+    the columnar view — the table digest computes every column's hash up
+    front and the per-column profiles reuse them."""
+    view = relation.columnar
+    cached = view.oph_hashes.get(name)
+    if cached is not None:
+        return cached
+    dtype = relation.schema[name].dtype
+    h = hashlib.blake2b(digest_size=16)
+    if view.packable(name):
+        if columnar:
+            h.update(view.packed_matrix(name).tobytes())
+        else:
+            for v in view.values(name):
+                h.update(pack_value(v))
+    elif dtype == "str" and (stream := view.utf8_stream(name)) is not None:
+        # the join-validated stream doubles as the branch gate (shared
+        # with the scalar oracle via the view's cached verdict)
+        if columnar:
+            lens, payload = stream
+            h.update(lens.astype("<i8").tobytes())
+            h.update(payload)
+        else:
+            values = view.values(name)
+            lens = np.fromiter(
+                (-1 if v is None else len(v) for v in values),
+                dtype=np.int64, count=len(values),
+            )
+            h.update(lens.astype("<i8").tobytes())
+            for v in values:
+                if v is not None:
+                    h.update(v.encode())
+    else:
+        # no sound repr-free encoding (any-typed or subclass-bearing
+        # column): fall back to the classic repr stream
+        digest = column_content_hash(
+            relation, name, columnar=columnar, scheme="classic"
+        )
+        view.oph_hashes[name] = digest
+        return digest
+    digest = h.hexdigest()
+    view.oph_hashes[name] = digest
+    return digest
+
+
+def table_content_hash(
+    relation: Relation, *, columnar: bool | None = None,
+    scheme: str = "classic",
+) -> str:
+    """Scheme-aware digest of a whole relation, used for change detection
+    and component fingerprints.
+
+    Classic delegates to :meth:`Relation.content_hash` (order-insensitive
+    sorted-row repr stream, memoized on the relation).  ``"oph"`` digests
+    the schema plus every column's repr-free content hash — no reprs, no
+    row materialization beyond the column transpose; order-*sensitive*,
+    which is sound everywhere the hash is consumed (equality means
+    unchanged, and replay compares hashes produced by the same scheme).
+    """
+    if scheme != "oph":
+        return relation.content_hash()
+    relation.columnar.materialize()  # one transpose for all columns
+    h = hashlib.blake2b(digest_size=32)
+    h.update(repr(relation.schema).encode())
+    h.update(str(len(relation)).encode())
+    for name in relation.schema.names:
+        h.update(_oph_column_hash(relation, name, _use_columnar(columnar)).encode())
+    return h.hexdigest()
+
+
+def _packed_display(row: bytes, dtype: str) -> str:
+    """Display key for one distinct packed row (categorical summaries).
+
+    Dtype-aware so pure int/bool columns render exactly like the classic
+    scheme; in float columns an integral token renders as its float form
+    (``1`` and ``1.0`` share one canonical token by design).  Irreversible
+    ``r`` rows (ints beyond int64) render as a tagged hex digest."""
+    if row[0] == 0x72:  # 'r'
+        return "int#" + row[1:].hex()
+    v = unpack_value(row)
+    if dtype == "float" and type(v) is int:
+        v = float(v)
+    return str(v)
+
+
+def _categorical_of_packed(
+    uniq: np.ndarray, counts: np.ndarray, nulls: int, dtype: str,
+    top_k: int = 10,
+) -> CategoricalSummary:
+    """Categorical summary straight from the packed distinct rows.
+
+    Replicates :meth:`CategoricalSummary.of_counts` — same branch
+    structure, same ``(-count, display)`` order — but materializes
+    display strings only for the rows that can actually place in the
+    top-k (display keys are injective per column, so the count partition
+    narrows the candidates before any ``unpack``/``str`` work).  The
+    scalar oracle builds the full display dict and goes through
+    ``of_counts``; tests assert both produce identical summaries."""
+    n = len(counts)
+    count = int(counts.sum())
+    if n <= max(32, 4 * top_k):
+        items = [
+            (_packed_display(uniq[i].tobytes(), dtype), int(counts[i]))
+            for i in range(n)
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return CategoricalSummary(
+            count=count, nulls=nulls, distinct=n, top=tuple(items[:top_k])
+        )
+    if count == n:
+        top = tuple(
+            (k, 1) for k in nsmallest(
+                top_k,
+                (_packed_display(r.tobytes(), dtype) for r in uniq),
+            )
+        )
+        return CategoricalSummary(
+            count=count, nulls=nulls, distinct=n, top=top
+        )
+    thresh = int(np.partition(counts, n - top_k)[n - top_k])
+    candidates = np.nonzero(counts >= thresh)[0]
+    above = [
+        (_packed_display(uniq[i].tobytes(), dtype), int(counts[i]))
+        for i in candidates if counts[i] > thresh
+    ]
+    above.sort(key=lambda kv: (-kv[1], kv[0]))
+    at = nsmallest(
+        top_k - len(above),
+        (
+            _packed_display(uniq[i].tobytes(), dtype)
+            for i in candidates if counts[i] == thresh
+        ),
+    )
+    top = tuple(above + [(k, thresh) for k in at])
+    return CategoricalSummary(count=count, nulls=nulls, distinct=n, top=top)
+
+
+def _profile_column_oph(
+    relation: Relation, name: str, num_perm: int, content_hash: str,
+    columnar: bool,
+) -> ColumnProfile:
+    """The repr-free profiling path of the ``"oph"`` scheme.
+
+    Packable (exact int/float/bool) columns sketch their distinct packed
+    canonical rows via :func:`hash_packed`; exact str columns sketch the
+    raw values (no repr quoting).  Columns without a sound repr-free
+    encoding fall back to repr tokens — still folded through the OPH
+    sketch, so every signature in an OPH corpus shares one scheme.
+    ``columnar=False`` is the scalar reference oracle: per-value
+    ``pack_value``/``_hash_bytes_raw`` loops, bit-identical signatures.
+    """
+    col = relation.schema[name]
+    view = relation.columnar
+    nulls = view.null_count(name)
+    n_non_null = len(view.values(name)) - nulls
+    numeric = None
+    signature = MinHash(num_perm=num_perm, scheme="oph")
+    if view.packable(name):
+        if columnar:
+            uniq, counts = view.packed_distinct(name)
+            signature.update_hashes(hash_packed(uniq), len(uniq))
+            categorical = _categorical_of_packed(
+                uniq, counts, nulls, col.dtype
+            )
+        else:
+            packed = Counter(
+                pack_value(v)
+                for v in view.values(name) if v is not None
+            )
+            uniq = sorted(packed)  # deterministic fold order (irrelevant
+            # to the signature, which is order-insensitive by min-fold)
+            signature.update_hashes(
+                np.fromiter(
+                    map(_hash_bytes_raw, uniq), dtype=np.int64,
+                    count=len(uniq),
+                ),
+                len(uniq),
+            )
+            categorical = CategoricalSummary.of_counts(
+                {_packed_display(r, col.dtype): packed[r] for r in uniq},
+                nulls,
+            )
+        distinct_count = len(uniq)
+        if col.dtype in ("int", "float"):
+            numeric = NumericSummary.of_array(view.numeric_array(name), nulls)
+    elif col.dtype == "str" and view.utf8_able(name):
+        if columnar:
+            counts = view.value_counts_any(name)
+            tokens = (
+                set(counts) if counts is not None
+                else {v for v in view.values(name) if v is not None}
+            )
+            signature.update_tokens(tokens)
+            freq = counts if counts is not None else Counter(
+                v for v in view.values(name) if v is not None
+            )
+        else:
+            tokens = {v for v in view.values(name) if v is not None}
+            signature.update_tokens(tokens, vectorize=False)
+            freq = Counter(
+                v for v in view.values(name) if v is not None
+            )
+        distinct_count = len(tokens)
+        categorical = CategoricalSummary.of_counts(freq, nulls)
+    else:
+        # any-typed / subclass-bearing: repr tokens, OPH fold
+        if columnar:
+            distinct = view.distinct_reprs(name)
+            signature.update_tokens(distinct)
+            non_null, _ = view.non_null(name)
+            freq = Counter(map(str, non_null))
+        else:
+            values = relation.column(name)
+            non_null = [v for v in values if v is not None]
+            distinct = {repr(v) for v in non_null}
+            signature.update_tokens(distinct, vectorize=False)
+            freq = Counter(map(str, non_null))
+        distinct_count = len(distinct)
+        if col.dtype in ("int", "float"):
+            numeric = NumericSummary.of_array(view.numeric_array(name), nulls)
+        categorical = CategoricalSummary.of_counts(freq, nulls)
+    return ColumnProfile(
+        dataset=relation.name,
+        column=name,
+        dtype=col.dtype,
+        semantic=col.semantic,
+        signature=signature,
+        numeric=numeric,
+        categorical=categorical,
+        distinct_fraction=(
+            (distinct_count / n_non_null) if n_non_null else 0.0
+        ),
+        content_hash=content_hash,
+    )
+
+
 def profile_column(
     relation: Relation, name: str, num_perm: int = 64,
     content_hash: str | None = None, *, columnar: bool | None = None,
+    scheme: str = "classic",
 ) -> ColumnProfile:
     """Sketch one column; pass ``content_hash`` when already computed."""
     col = relation.schema[name]
     use_columnar = _use_columnar(columnar)
+    if scheme == "oph":
+        return _profile_column_oph(
+            relation, name, num_perm,
+            content_hash or column_content_hash(
+                relation, name, columnar=use_columnar, scheme=scheme
+            ),
+            use_columnar,
+        )
     if use_columnar:
         view = relation.columnar
         nulls = view.null_count(name)
@@ -226,6 +488,7 @@ def profile_table(
     previous: TableProfile | None = None,
     *,
     columnar: bool | None = None,
+    scheme: str = "classic",
 ) -> TableProfile:
     """Profile every column; with ``previous`` (the dataset's prior profile),
     columns whose values, dtype and semantic are unchanged reuse the old
@@ -239,13 +502,16 @@ def profile_table(
     for name in relation.columns:
         col = relation.schema[name]
         old = prior.get(name)
-        content_hash = column_content_hash(relation, name, columnar=columnar)
+        content_hash = column_content_hash(
+            relation, name, columnar=columnar, scheme=scheme
+        )
         if (
             old is not None
             and old.content_hash
             and old.dtype == col.dtype
             and old.semantic == col.semantic
             and old.signature.num_perm == num_perm
+            and old.signature.scheme == scheme
             and old.content_hash == content_hash
         ):
             columns.append(old)
@@ -253,13 +519,15 @@ def profile_table(
         columns.append(
             profile_column(
                 relation, name, num_perm=num_perm, content_hash=content_hash,
-                columnar=columnar,
+                columnar=columnar, scheme=scheme,
             )
         )
     return TableProfile(
         dataset=relation.name,
         n_rows=len(relation),
-        content_hash=relation.content_hash(),
+        content_hash=table_content_hash(
+            relation, columnar=columnar, scheme=scheme
+        ),
         columns=tuple(columns),
     )
 

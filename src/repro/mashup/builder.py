@@ -40,9 +40,9 @@ class MashupBuilder:
         incremental: bool = True, exhaustive: bool = False,
         beam_width: int | None = None, plan_cache: bool = True,
         plan_cache_size: int = 128, exec_engine: str = "columnar",
-        cost_model: bool = True,
+        cost_model: bool = True, scheme: str = "classic",
     ):
-        self.metadata = MetadataEngine(num_perm=num_perm)
+        self.metadata = MetadataEngine(num_perm=num_perm, scheme=scheme)
         self.index = IndexBuilder(
             self.metadata, min_overlap=min_overlap, incremental=incremental
         )

@@ -99,7 +99,12 @@ class DataMarket:
     ``plan_cache`` / ``plan_cache_size`` control the component-scoped plan
     cache (on by default, LRU-bounded): cached plans survive deltas in
     unrelated join-graph components and are evicted exactly when a delta
-    touched a component they depend on.
+    touched a component they depend on.  ``scheme`` selects the MinHash
+    sketch scheme for every column profile: ``"classic"`` (the
+    ``num_perm``-way universal-hash fold) or ``"oph"`` (one-permutation
+    hashing with densification plus repr-free packed canonicalization —
+    the fast ingest path); a store replays only into a market of the
+    same scheme.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class DataMarket:
         plan_cache_size: int = 128,
         exec_engine: str = "columnar",
         cost_model: bool = True,
+        scheme: str = "classic",
         store: MarketStore | str | None = None,
     ):
         self.design = design if design is not None else external_market()
@@ -131,6 +137,7 @@ class DataMarket:
                 plan_cache_size=plan_cache_size,
                 exec_engine=exec_engine,
                 cost_model=cost_model,
+                scheme=scheme,
             ),
         )
         self._rounds = 0

@@ -62,7 +62,7 @@ from ..sketches import MinHash
 
 #: bump on any table change; a store created by a different schema version
 #: is refused rather than silently misread
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _JSON_SCALARS = (type(None), bool, int, float, str)
 
@@ -88,8 +88,8 @@ TABLES: dict[str, tuple[str, ...]] = {
     ),
     "column_profiles": (
         "dataset", "position", "column_name", "dtype", "semantic",
-        "distinct_fraction", "content_hash", "signature", "numeric_json",
-        "categorical_json",
+        "distinct_fraction", "content_hash", "scheme", "signature",
+        "numeric_json", "categorical_json",
     ),
     "lsh_buckets": ("dataset", "column_name", "band", "band_key"),
     "join_candidates": (
@@ -136,6 +136,7 @@ CREATE TABLE IF NOT EXISTS column_profiles (
     semantic          TEXT,
     distinct_fraction REAL NOT NULL,
     content_hash      TEXT NOT NULL,
+    scheme            TEXT NOT NULL,
     signature         BLOB NOT NULL,
     numeric_json      TEXT,
     categorical_json  TEXT NOT NULL,
@@ -383,11 +384,11 @@ class MarketStore:
                 record = column_profile_record(cp)
                 conn.execute(
                     "INSERT INTO column_profiles VALUES "
-                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         name, position, cp.column, cp.dtype, cp.semantic,
                         cp.distinct_fraction, cp.content_hash,
-                        cp.signature.to_bytes(),
+                        cp.signature.scheme, cp.signature.to_bytes(),
                         None if record["numeric"] is None
                         else json.dumps(record["numeric"]),
                         json.dumps(record["categorical"]),
@@ -629,6 +630,25 @@ class MarketStore:
             ).fetchall()
             if not rows:
                 return 0
+            stored_schemes = sorted(
+                s for (s,) in conn.execute(
+                    "SELECT DISTINCT scheme FROM column_profiles"
+                )
+            )
+            if len(stored_schemes) > 1:
+                raise StoreError(
+                    f"store at {self.path!r} holds mixed sketch schemes "
+                    f"{stored_schemes}: signatures from different schemes "
+                    f"are not mutually comparable, refusing to replay"
+                )
+            market_scheme = market.metadata.scheme
+            if stored_schemes and stored_schemes[0] != market_scheme:
+                raise StoreError(
+                    f"store at {self.path!r} was written with sketch "
+                    f"scheme {stored_schemes[0]!r} but the market uses "
+                    f"{market_scheme!r}: re-register the corpus to "
+                    f"migrate schemes"
+                )
             profiles: list[TableProfile] = []
             for (name, version, logical_time, content_hash, owner,
                  credentials, seller, reserve, license_json, n_rows,
@@ -640,13 +660,20 @@ class MarketStore:
                 )
                 columns = []
                 for (col, dtype, semantic, distinct_fraction,
-                     col_hash, sig, numeric_json,
+                     col_hash, scheme, sig, numeric_json,
                      categorical_json) in conn.execute(
                     "SELECT column_name, dtype, semantic, "
-                    "distinct_fraction, content_hash, signature, "
+                    "distinct_fraction, content_hash, scheme, signature, "
                     "numeric_json, categorical_json FROM column_profiles "
                     "WHERE dataset = ? ORDER BY position", (name,)
                 ):
+                    signature = MinHash.from_bytes(sig)
+                    if signature.scheme != scheme:
+                        raise StoreError(
+                            f"column profile {name}.{col} declares scheme "
+                            f"{scheme!r} but its signature payload decodes "
+                            f"as {signature.scheme!r}: the store is corrupt"
+                        )
                     record = {
                         "column": col,
                         "dtype": dtype,
@@ -660,7 +687,7 @@ class MarketStore:
                         "categorical": json.loads(categorical_json),
                     }
                     columns.append(column_profile_from_record(
-                        name, record, MinHash.from_bytes(sig)
+                        name, record, signature
                     ))
                 profile = TableProfile(
                     dataset=name, n_rows=n_rows,

@@ -45,14 +45,34 @@ class NumericSummary:
         if data.size == 0:
             return cls(0, nulls, float("nan"), float("nan"), float("nan"),
                        float("nan"), (), ())
-        counts, edges = np.histogram(data, bins=bins)
+        finite_mask = np.isfinite(data)
+        if finite_mask.all():
+            counts, edges = np.histogram(data, bins=bins)
+            valid = data
+        else:
+            # NaN/inf cells must not crash profiling (the packed
+            # canonicalization admits them): histogram over the finite
+            # values only, range/moments over everything but NaN
+            finite = data[finite_mask]
+            counts, edges = (
+                np.histogram(finite, bins=bins) if finite.size
+                else ((), ())
+            )
+            valid = data[~np.isnan(data)]
+        if valid.size:
+            minimum, maximum = float(valid.min()), float(valid.max())
+            # inf - inf -> nan, huge**2 -> inf: degrade, don't warn
+            with np.errstate(invalid="ignore", over="ignore"):
+                mean, std = float(valid.mean()), float(valid.std())
+        else:
+            minimum = maximum = mean = std = float("nan")
         return cls(
             count=int(data.size),
             nulls=nulls,
-            minimum=float(data.min()),
-            maximum=float(data.max()),
-            mean=float(data.mean()),
-            std=float(data.std()),
+            minimum=minimum,
+            maximum=maximum,
+            mean=mean,
+            std=std,
             bin_edges=tuple(float(e) for e in edges),
             bin_counts=tuple(int(c) for c in counts),
         )
